@@ -1,0 +1,48 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one paper table/figure at the default
+(reduced-but-shape-preserving) scale, prints the same rows/series the
+paper reports, and tees them into ``bench_results/`` for EXPERIMENTS.md.
+Expensive setups (the tuned TPC-H database) are shared session-wide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import save_report
+from repro.experiments.common import make_micro_db
+from repro.experiments.fig1 import make_tuned_tpch
+
+#: Scale used by the TPC-H benchmarks (Fig 1, Fig 4, Table II).
+TPCH_SCALE = 0.01
+
+
+@pytest.fixture(scope="session")
+def micro_bench_setup():
+    """The default 240K-tuple (2,000-page) micro-benchmark database."""
+    return make_micro_db()
+
+
+@pytest.fixture(scope="session")
+def tuned_tpch():
+    """The advisor-tuned, stale-statistics TPC-H database."""
+    return make_tuned_tpch(scale_factor=TPCH_SCALE)
+
+
+@pytest.fixture()
+def report():
+    """Print one experiment report and tee it to bench_results/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = save_report(name, text)
+        print(f"[saved to {path}]")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

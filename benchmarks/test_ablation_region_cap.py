@@ -1,0 +1,47 @@
+"""Ablation — the morphing-region cap (Section VI-D).
+
+The paper: "We perform a sensitivity analysis on the maximum number of
+adjacent pages up to which we perform the morphing expansion. Our
+experiments show that 2K pages are optimal (translates to a block size of
+16MB)."  This sweep varies the cap on the 100%-selectivity micro query;
+expected shape: costs fall steeply while the cap grows (fewer random
+jumps), then flatten — the curve's knee justifies the 2K default, and
+tiny caps degrade toward Entire-Page-Probe behaviour.
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.common import access_path_plan
+
+
+def sweep_region_caps(setup, caps, selectivity=1.0):
+    seconds = {}
+    for cap in caps:
+        plan = access_path_plan("smooth", setup.table, selectivity,
+                                max_mode=2)
+        plan.max_region_pages = cap
+        seconds[cap] = run_cold(setup.db, f"cap={cap}", plan).seconds
+    return seconds
+
+
+def test_ablation_region_cap(benchmark, micro_bench_setup, report):
+    caps = (1, 4, 16, 64, 256, 1024, 2048, 8192)
+    seconds = run_once(
+        benchmark, lambda: sweep_region_caps(micro_bench_setup, caps)
+    )
+    text = format_table(
+        ["max_region_pages", "time_s"],
+        [[cap, seconds[cap]] for cap in caps],
+        title="Ablation — morphing-region cap at 100% selectivity",
+    )
+    report("ablation_region_cap", text)
+
+    # Small caps behave like Entire Page Probe: clearly slower.
+    assert seconds[1] > 3 * seconds[2048]
+    # Costs are (weakly) improving as the cap grows...
+    assert seconds[16] <= seconds[1]
+    assert seconds[256] <= seconds[16]
+    # ...and the curve has flattened by the paper's 2K default.
+    assert seconds[8192] > 0.8 * seconds[2048]

@@ -1,0 +1,28 @@
+"""Section V-A — competitive-ratio measurements.
+
+Paper numbers: Elastic's analysis-regime CR ≈ 5.5 on HDD (theoretical
+bound 11, purely the random:sequential ratio); the empirically observed
+CR is ≈ 2.  We measure both: the default policy on a prefetching disk
+(empirical regime) and the strict policy with prefetching disabled
+(analysis regime), plus the model-level bound.
+"""
+
+from conftest import run_once
+
+from repro.costmodel import CostParams, elastic_cr_bound
+from repro.experiments.competitive import run_competitive
+
+
+def test_competitive_ratio(benchmark, report):
+    result = run_once(benchmark, lambda: run_competitive())
+    report("competitive_ratio", result.report())
+
+    # Empirical regime: CR ≈ 2 (paper's observed value).
+    assert 1.2 < result.adversarial_cr < 3.5
+    assert result.sweep_max_cr < 4.0
+    # Analysis regime: strictly-greater policy, no prefetch (≈ 5.5).
+    assert 3.0 < result.adversarial_cr_strict < 7.0
+    # Theoretical bound from the device ratio (paper: 11 for HDD).
+    paper = CostParams(tuple_size=64, num_tuples=400_000_000, key_size=4)
+    assert elastic_cr_bound(paper) == 11.0
+    assert result.adversarial_cr_strict < elastic_cr_bound(paper)

@@ -1,0 +1,28 @@
+"""Figure 1 — non-robust performance after tuning (Section I / VI-B).
+
+Paper shape: after the tuning tool adds indexes, several TPC-H queries
+degrade (Q12 by ×400 at SF10 on real hardware, the 19-query workload by
+×22 overall) while most stay near 1.0.  Here the degradation factors are
+smaller (buffered, scaled tables) but the distribution — a few
+catastrophic queries, most untouched, an order-of-magnitude workload
+factor — reproduces, and the Smooth Scan column repairs every regression.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig01_normalized_execution_times(benchmark, tuned_tpch, report):
+    result = run_once(benchmark, lambda: run_fig1(setup=tuned_tpch))
+    report("fig01_dbmsx_motivation", result.report())
+
+    factors = [result.normalized(q) for q in result.queries]
+    # At least a few queries degrade clearly; most stay near 1.
+    assert sum(1 for f in factors if f > 3.0) >= 3
+    assert sum(1 for f in factors if f < 1.5) >= 8
+    assert result.workload_factor() > 2.0
+    # Smooth Scan repairs the regressions the tuning introduced.
+    for q in result.queries:
+        assert result.smooth_s[q] < 3.0 * max(result.original_s[q],
+                                              result.tuned_s[q])

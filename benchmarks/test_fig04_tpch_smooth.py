@@ -1,0 +1,36 @@
+"""Figure 4 — improving TPC-H performance with Smooth Scan (Section VI-B).
+
+Paper shape: Smooth Scan prevents the degradations of Q6 (×10), Q7 (×7)
+and Q14 (×8) while adding only marginal overhead where the optimizer was
+already right (Q1 +14%, Q4 <1%).  Execution time is split into CPU and
+blocking I/O wait, the two bar segments of the figure.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig4_table2 import run_fig4
+
+
+@pytest.fixture(scope="session")
+def fig4_result(tuned_tpch):
+    return run_fig4(setup=tuned_tpch)
+
+
+def test_fig04_execution_breakdown(benchmark, tuned_tpch, report):
+    result = run_once(benchmark, lambda: run_fig4(setup=tuned_tpch))
+    report("fig04_tpch_smooth", result.report_fig4())
+
+    def time_of(query, mode):
+        return result.data[(query, mode)].total_s
+
+    # Big wins where pSQL's estimates picked a bad index path.
+    assert time_of("Q6", "pSQL+SmoothScan") < 0.5 * time_of("Q6", "pSQL")
+    assert time_of("Q7", "pSQL+SmoothScan") < 0.5 * time_of("Q7", "pSQL")
+    assert time_of("Q14", "pSQL+SmoothScan") < time_of("Q14", "pSQL")
+    # Bounded overhead where pSQL was already optimal.
+    assert time_of("Q1", "pSQL+SmoothScan") < 1.6 * time_of("Q1", "pSQL")
+    assert time_of("Q4", "pSQL+SmoothScan") < 1.3 * time_of("Q4", "pSQL")
+    # Breakdown sums to the total.
+    for key, d in result.data.items():
+        assert d.total_s == pytest.approx(d.cpu_s + d.io_wait_s)

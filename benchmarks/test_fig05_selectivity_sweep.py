@@ -1,0 +1,48 @@
+"""Figure 5 — Smooth Scan vs. alternatives over the selectivity range.
+
+Paper shape (HDD): Index Scan is ~10× Full Scan already at 0.1% and
+>100× at 100%; Sort Scan wins below ~1% and fades above ~2.5%; Smooth
+Scan is index-like at the low end, within ~20% of Full Scan at 100%
+without ORDER BY, and the best path above ~2.5% when an interesting
+order is required (the others pay a posterior sort).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig05a_with_order_by(benchmark, micro_bench_setup, report):
+    result = run_once(
+        benchmark,
+        lambda: run_fig5(order_by=True, setup=micro_bench_setup),
+    )
+    report("fig05a_sweep_order_by", result.report())
+
+    sel = result.selectivities_pct
+    i20, i100 = sel.index(20.0), sel.index(100.0)
+    # With an interesting order, Smooth Scan wins at moderate/high
+    # selectivity: everyone else pays the posterior sort.
+    assert result.seconds["smooth"][i20] < result.seconds["full"][i20]
+    assert result.seconds["smooth"][i20] < result.seconds["sort"][i20]
+    assert result.seconds["smooth"][i100] < result.seconds["index"][i100]
+
+
+def test_fig05b_without_order_by(benchmark, micro_bench_setup, report):
+    result = run_once(
+        benchmark,
+        lambda: run_fig5(order_by=False, setup=micro_bench_setup),
+    )
+    report("fig05b_sweep_no_order_by", result.report())
+
+    sel = result.selectivities_pct
+    i_low, i100 = sel.index(0.01), sel.index(100.0)
+    # Low selectivity: index-driven paths beat the full scan.
+    assert result.seconds["index"][i_low] < result.seconds["full"][i_low]
+    assert result.seconds["smooth"][i_low] < result.seconds["full"][i_low]
+    # High selectivity: Index Scan melts; Smooth stays near Full Scan.
+    assert result.seconds["index"][i100] > 20 * result.seconds["full"][i100]
+    assert result.seconds["smooth"][i100] < 1.6 * result.seconds["full"][i100]
+    # Index Scan's degradation is monotone across the sweep.
+    idx = result.seconds["index"]
+    assert idx[i100] == max(idx)

@@ -1,0 +1,27 @@
+"""Figure 6 — sensitivity analysis of Smooth Scan's modes.
+
+Paper shape at 100% selectivity: Entire-Page-Probe alone is ~10× better
+than Index Scan (no repeated pages) yet ~14× worse than Full Scan (every
+fetch random); adding Flattening Access closes the gap to ~1.2× Full
+Scan.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig06_mode_sensitivity(benchmark, micro_bench_setup, report):
+    result = run_once(benchmark, lambda: run_fig6(setup=micro_bench_setup))
+    report("fig06_modes", result.report())
+
+    i100 = result.selectivities_pct.index(100.0)
+    full = result.seconds["full"][i100]
+    index = result.seconds["index"][i100]
+    mode1 = result.seconds["smooth_mode1"][i100]
+    flat = result.seconds["smooth_flattening"][i100]
+    # The paper's vertical ordering at 100%.
+    assert index > mode1 > flat
+    assert index > 5 * mode1       # page probe removes repeated accesses
+    assert mode1 > 3 * full        # but stays random-access bound
+    assert flat < 1.6 * full       # flattening approaches the full scan

@@ -1,0 +1,29 @@
+"""Figure 8 — handling skew (Section VI-D).
+
+Paper shape: after a dense head, Selectivity-Increase keeps its inflated
+morphing region and fetches ~56× more distinct pages than Elastic,
+ending ~5× slower; Elastic converges back to single-page probes and
+lands near Index Scan's page count.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig08_skewed_distribution(benchmark, report):
+    result = run_once(benchmark, lambda: run_fig8())
+    report("fig08_skew", result.report())
+
+    # SI overshoots: many more pages and clearly slower than Elastic.
+    assert result.pages_read["si_smooth"] > \
+        5 * result.pages_read["elastic_smooth"]
+    assert result.seconds["si_smooth"] > 2 * result.seconds["elastic_smooth"]
+    # Elastic stays within an order of magnitude of the index scan's
+    # page count, far below the full scan.
+    assert result.pages_read["elastic_smooth"] < \
+        10 * result.pages_read["index"]
+    assert result.pages_read["elastic_smooth"] < \
+        result.pages_read["full"] / 5
+    # All paths agree on the result, of course.
+    assert len(set(result.result_rows.values())) == 1

@@ -1,0 +1,28 @@
+"""Figure 9 — the auxiliary data structures (Section VI-D).
+
+Paper shape: the Result Cache costs at most ~14% of execution time while
+its hit rate reaches 100% by ~1% selectivity (9a); morphing accuracy
+climbs to 100% by ~2.5% selectivity (9b).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig09_result_cache_and_accuracy(benchmark, micro_bench_setup,
+                                         report):
+    result = run_once(benchmark, lambda: run_fig9(setup=micro_bench_setup))
+    report("fig09_aux_structures", result.report())
+
+    # 9a: bounded bookkeeping overhead, hit rate saturating.
+    assert max(result.cache_overhead_pct) < 25.0
+    i_hi = result.selectivities_pct.index(20.0)
+    assert result.cache_hit_rate_pct[i_hi] > 95.0
+    # Hit rate grows with selectivity up to saturation.
+    i_1 = result.selectivities_pct.index(1.0)
+    assert result.cache_hit_rate_pct[i_1] > \
+        result.cache_hit_rate_pct[0] - 1e-9
+    # 9b: morphing accuracy reaches 100% once every page holds results.
+    assert result.morphing_accuracy_pct[-1] == 100.0
+    assert result.morphing_accuracy_pct[0] < 100.0

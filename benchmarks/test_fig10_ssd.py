@@ -1,0 +1,31 @@
+"""Figure 10 — Smooth Scan on SSD (Section VI-E).
+
+Paper shape: with the 2:1 (vs 10:1) random:sequential ratio, Index Scan
+stays viable to ~0.1% (vs ~0.01% on HDD) yet still loses ~30× at 100%;
+Smooth Scan beats Sort Scan above ~0.1% and ends within ~10% of the full
+scan at 100%.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig10_ssd_sweep(benchmark, micro_bench_setup, report):
+    result = run_once(benchmark, lambda: run_fig10())
+    report("fig10_ssd", result.report())
+
+    sel = result.selectivities_pct
+    i100 = sel.index(100.0)
+    # Smooth hugs the full scan at 100% (paper: within ~10%).
+    assert result.seconds["smooth"][i100] < 1.5 * result.seconds["full"][i100]
+    # Index scan still collapses, though less than on HDD.
+    assert result.seconds["index"][i100] > 5 * result.seconds["full"][i100]
+
+    # Cross-device comparison: the index/full gap narrows on SSD.
+    hdd = run_fig5(order_by=False, setup=micro_bench_setup,
+                   selectivities_pct=(100.0,))
+    gap_hdd = hdd.seconds["index"][0] / hdd.seconds["full"][0]
+    gap_ssd = result.seconds["index"][i100] / result.seconds["full"][i100]
+    assert gap_ssd < gap_hdd

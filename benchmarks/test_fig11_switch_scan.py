@@ -1,0 +1,34 @@
+"""Figure 11 — Switch Scan's performance cliff (Section VI-F).
+
+Paper shape: right at the threshold selectivity (0.009%: the optimizer
+estimated 32K of 400M tuples) the execution time jumps by a full scan's
+worth; past it, Switch Scan tracks Full Scan, bounding the worst case.
+Smooth Scan provides the same bound without the cliff.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_cliff(benchmark, micro_bench_setup, report):
+    result = run_once(benchmark, lambda: run_fig11(setup=micro_bench_setup))
+    report("fig11_switch_scan", result.report())
+
+    sel = result.selectivities_pct
+    # The switch decision flips exactly once along the sweep.
+    flips = sum(1 for a, b in zip(result.switched, result.switched[1:])
+                if a != b)
+    assert flips == 1
+    first_switch = result.switched.index(True)
+    # The cliff: a discrete jump at the switch point.
+    assert result.seconds["switch"][first_switch] > \
+        2 * result.seconds["switch"][first_switch - 1]
+    # After switching, Switch Scan is bounded near Full Scan...
+    i100 = sel.index(100.0)
+    assert result.seconds["switch"][i100] < 2 * result.seconds["full"][i100]
+    # ...while Smooth Scan never exhibits a comparable jump.
+    smooth = result.seconds["smooth"]
+    for a, b in zip(smooth, smooth[1:]):
+        if a > 1e-6:
+            assert b < a * 20  # no order-of-magnitude cliffs

@@ -1,0 +1,46 @@
+"""Selectivity sweep: a small-scale Figure 5 on your terminal.
+
+Sweeps the micro-benchmark query over the selectivity interval and shows
+where each access path wins — Index Scan at the very low end, Full Scan
+at the high end without ordering, and Smooth Scan tracking the best
+alternative throughout (the paper's robustness claim).
+
+Run:  python examples/selectivity_sweep.py [--order-by] [--ssd]
+"""
+
+import argparse
+
+from repro import DiskProfile
+from repro.bench.reporting import format_table
+from repro.experiments.fig5 import PATHS, run_fig5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--order-by", action="store_true",
+                        help="require output in index-key order (Fig 5a)")
+    parser.add_argument("--ssd", action="store_true",
+                        help="use the SSD cost profile (Fig 10)")
+    parser.add_argument("--tuples", type=int, default=120_000,
+                        help="table size (default 120K rows = 1000 pages)")
+    args = parser.parse_args()
+
+    result = run_fig5(
+        order_by=args.order_by,
+        num_tuples=args.tuples,
+        profile=DiskProfile.ssd() if args.ssd else DiskProfile.hdd(),
+    )
+    print(result.report())
+
+    print("\nwinner per selectivity point:")
+    rows = []
+    for i, sel in enumerate(result.selectivities_pct):
+        times = {p: result.seconds[p][i] for p in PATHS}
+        winner = min(times, key=times.get)
+        smooth_vs_best = times["smooth"] / max(min(times.values()), 1e-12)
+        rows.append([sel, winner, f"{smooth_vs_best:.2f}x"])
+    print(format_table(["sel_%", "best path", "smooth vs best"], rows))
+
+
+if __name__ == "__main__":
+    main()

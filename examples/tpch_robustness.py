@@ -1,0 +1,59 @@
+"""TPC-H robustness: stale statistics, a tuning tool, and the repair.
+
+Reproduces the paper's motivation end to end at laptop scale:
+
+1. Load TPC-H in two chronological batches and collect statistics after
+   the first — every recent date range now estimates to ≈ 0 rows.
+2. Let the index advisor "tune" the workload under a space budget.
+3. Run queries three ways: untuned (full scans), tuned (the cost-based
+   planner now walks into the stale-estimate traps), and tuned with all
+   access paths replaced by Smooth Scan.
+
+Run:  python examples/tpch_robustness.py [--scale 0.005]
+"""
+
+import argparse
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.fig1 import make_tuned_tpch
+from repro.workloads.tpch import TpchPlanBuilder, build_query
+
+QUERIES = ["Q1", "Q4", "Q6", "Q7", "Q12", "Q14", "Q19"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.005,
+                        help="TPC-H scale factor (default 0.005)")
+    args = parser.parse_args()
+
+    setup = make_tuned_tpch(scale_factor=args.scale)
+    print("tuning indexes created:", setup.recommended, "\n")
+
+    rows = []
+    for name in QUERIES:
+        times = {}
+        for mode in ("original", "tuned", "smooth"):
+            builder = TpchPlanBuilder(setup.db, setup.catalog, mode)
+            plan = build_query(name, builder)
+            times[mode] = run_cold(setup.db, f"{mode}:{name}", plan).seconds
+        rows.append([
+            name,
+            f"{times['original']:.3f}",
+            f"{times['tuned']:.3f}",
+            f"{times['tuned'] / times['original']:.2f}x",
+            f"{times['smooth']:.3f}",
+        ])
+    print(format_table(
+        ["query", "original_s", "tuned_s", "tuned/orig", "smooth_s"],
+        rows,
+        title="Tuning can hurt; Smooth Scan repairs it "
+              "(simulated seconds, cold runs)",
+    ))
+    print("\nThe 'tuned' regressions come from index paths chosen on "
+          "stale/AVI estimates;\nSmooth Scan needs no estimates at all.")
+
+
+if __name__ == "__main__":
+    main()

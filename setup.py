@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The sandbox has no ``wheel`` package and no network, so PEP 660 editable
+installs (which build a wheel) fail; this shim enables the legacy
+``pip install -e . --no-build-isolation`` path via ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

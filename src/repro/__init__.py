@@ -1,0 +1,80 @@
+"""repro — a reproduction of "Smooth Scan: Statistics-Oblivious Access Paths"
+(Borovica-Gajic, Idreos, Ailamaki, Zukowski, Fraser — ICDE 2015).
+
+The package implements, from scratch, everything the paper's evaluation
+needs: a paged storage engine over a simulated disk, a B+-tree, a Volcano
+executor with the three traditional access paths, the Smooth Scan and
+Switch Scan operators (the paper's contribution), the Section V cost
+model, a cost-based optimizer with stale-statistics injection, the
+micro/skew/TPC-H workloads, and one experiment module per paper figure.
+
+Quickstart::
+
+    from repro import Database, SmoothScan, KeyRange, measure
+    from repro.workloads import build_micro_table
+
+    db = Database()
+    table = build_micro_table(db, num_tuples=120_000)
+    scan = SmoothScan(table, "c2", KeyRange(0, 20_000))
+    result = measure(db, scan)
+    print(result)                       # rows, simulated time, I/O requests
+    print(scan.last_stats.summary())    # morphing internals
+"""
+
+from repro.config import CpuCosts, EngineConfig
+from repro.context import ExecutionContext
+from repro.core import (
+    EagerTrigger,
+    ElasticPolicy,
+    GreedyPolicy,
+    OptimizerDrivenTrigger,
+    SLADrivenTrigger,
+    SelectivityIncreasePolicy,
+    SmoothScan,
+    SwitchScan,
+)
+from repro.database import Database
+from repro.errors import ReproError
+from repro.exec import (
+    Between,
+    Comparison,
+    CompareOp,
+    FullTableScan,
+    IndexScan,
+    KeyRange,
+    RunResult,
+    SortScan,
+    measure,
+)
+from repro.storage import Column, ColumnType, DiskProfile, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Between",
+    "Column",
+    "ColumnType",
+    "CompareOp",
+    "Comparison",
+    "CpuCosts",
+    "Database",
+    "DiskProfile",
+    "EagerTrigger",
+    "ElasticPolicy",
+    "EngineConfig",
+    "ExecutionContext",
+    "FullTableScan",
+    "GreedyPolicy",
+    "IndexScan",
+    "KeyRange",
+    "OptimizerDrivenTrigger",
+    "ReproError",
+    "RunResult",
+    "SLADrivenTrigger",
+    "Schema",
+    "SelectivityIncreasePolicy",
+    "SmoothScan",
+    "SortScan",
+    "SwitchScan",
+    "measure",
+]

@@ -1,0 +1,22 @@
+"""Benchmark harness utilities: runners and paper-style reporting."""
+
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    format_value,
+    results_dir,
+    save_report,
+)
+from repro.bench.runner import Measurement, normalized, run_cold, sweep
+
+__all__ = [
+    "Measurement",
+    "format_series",
+    "format_table",
+    "format_value",
+    "normalized",
+    "results_dir",
+    "run_cold",
+    "save_report",
+    "sweep",
+]

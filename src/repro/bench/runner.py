@@ -1,0 +1,50 @@
+"""Experiment execution helpers shared by benchmarks, examples and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.database import Database
+from repro.exec.iterator import Operator
+from repro.exec.stats import RunResult, measure
+
+
+@dataclass
+class Measurement:
+    """One named measured run."""
+
+    label: str
+    result: RunResult
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated execution time in seconds."""
+        return self.result.total_seconds
+
+
+def run_cold(db: Database, label: str, plan: Operator,
+             keep_rows: bool = False, **extras) -> Measurement:
+    """Measure one cold execution of ``plan``."""
+    result = measure(db, plan, cold=True, keep_rows=keep_rows)
+    return Measurement(label=label, result=result, extras=dict(extras))
+
+
+def normalized(value: float, baseline: float) -> float:
+    """``value / baseline`` guarding the divide-by-zero edge."""
+    if baseline <= 0:
+        return 1.0 if value <= 0 else float("inf")
+    return value / baseline
+
+
+PlanFactory = Callable[[], Operator]
+
+
+def sweep(db: Database, factories: dict[str, PlanFactory],
+          keep_rows: bool = False) -> dict[str, Measurement]:
+    """Measure each labeled plan factory once, cold."""
+    out = {}
+    for label, factory in factories.items():
+        out[label] = run_cold(db, label, factory(), keep_rows=keep_rows)
+    return out

@@ -1,0 +1,67 @@
+"""Execution context: the one handle operators use to touch the substrate.
+
+An :class:`ExecutionContext` bundles the engine configuration, the simulated
+clock, the buffer pool and the disk so that physical operators (and B+-tree
+scans) charge costs through a single narrow interface.  Keeping it separate
+from both the storage and executor packages breaks what would otherwise be
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig
+from repro.storage.buffer import BufferPool, PagedFile
+from repro.storage.disk import SimClock, SimulatedDisk
+from repro.storage.page import HeapPage
+
+
+class ExecutionContext:
+    """Charging surface shared by all operators in one query execution."""
+
+    def __init__(self, config: EngineConfig, clock: SimClock,
+                 disk: SimulatedDisk, buffer: BufferPool):
+        self.config = config
+        self.clock = clock
+        self.disk = disk
+        self.buffer = buffer
+
+    # -- page access ------------------------------------------------------
+
+    def get_page(self, file: PagedFile, page_id: int) -> HeapPage:
+        """Fetch one page through the buffer pool."""
+        return self.buffer.get_page(file, page_id)
+
+    def get_run(self, file: PagedFile, start_page: int,
+                n_pages: int) -> list[HeapPage]:
+        """Fetch a contiguous run of pages through the buffer pool."""
+        return self.buffer.get_run(file, start_page, n_pages)
+
+    # -- CPU charging -----------------------------------------------------
+
+    def charge_inspect(self, n: int = 1) -> None:
+        """Charge predicate evaluation on ``n`` tuples."""
+        self.clock.charge_cpu(self.config.cpu.tuple_inspect * n)
+
+    def charge_emit(self, n: int = 1) -> None:
+        """Charge emission of ``n`` tuples to the parent operator."""
+        self.clock.charge_cpu(self.config.cpu.tuple_emit * n)
+
+    def charge_compare(self, n: int = 1) -> None:
+        """Charge ``n`` sort comparisons."""
+        self.clock.charge_cpu(self.config.cpu.compare * n)
+
+    def charge_hash(self, n: int = 1) -> None:
+        """Charge ``n`` hash operations."""
+        self.clock.charge_cpu(self.config.cpu.hash_op * n)
+
+    def charge_cache_probe(self, n: int = 1) -> None:
+        """Charge ``n`` auxiliary-cache probes (Smooth Scan bookkeeping)."""
+        self.clock.charge_cpu(self.config.cpu.cache_probe * n)
+
+    def charge_cache_insert(self, n: int = 1) -> None:
+        """Charge ``n`` auxiliary-cache inserts (Smooth Scan bookkeeping)."""
+        self.clock.charge_cpu(self.config.cpu.cache_insert * n)
+
+    def charge_index_entry(self, n: int = 1) -> None:
+        """Charge advancing ``n`` entries along a B+-tree leaf chain."""
+        self.clock.charge_cpu(self.config.cpu.index_entry * n)

@@ -1,0 +1,275 @@
+"""Smooth Scan's auxiliary data structures (Section IV-A).
+
+* :class:`PageIdCache` — one bit per heap page; set once the page has been
+  processed, so no heap page is ever fetched twice.
+* :class:`TupleIdCache` — one bit per tuple; records tuples produced by a
+  traditional index scan before morphing was triggered, preventing result
+  duplication under the Optimizer/SLA-driven triggers.
+* :class:`ResultCache` — a hash store, partitioned by key range (boundaries
+  read off the index root), holding qualifying tuples found during
+  entire-page probes that must wait for their index probe to preserve an
+  interesting order.  Partitions are bulk-evicted once the probe key passes
+  their range, and the furthest partitions can spill to overflow files
+  under memory pressure.
+
+Both bitmap caches really are bitmaps (a ``bytearray`` with bit ops) so the
+memory footprints reported by experiments match the paper's "a couple of
+MB for hundreds of GB of data" observation.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+from repro.storage.types import Row, TID
+
+
+class _Bitmap:
+    """A plain bit set over ``[0, size)``."""
+
+    __slots__ = ("size", "_bits", "_count")
+
+    def __init__(self, size: int):
+        self.size = size
+        self._bits = bytearray((size + 7) // 8)
+        self._count = 0
+
+    def get(self, i: int) -> bool:
+        return bool(self._bits[i >> 3] & (1 << (i & 7)))
+
+    def set(self, i: int) -> bool:
+        """Set bit ``i``; returns True if it was newly set."""
+        mask = 1 << (i & 7)
+        byte = self._bits[i >> 3]
+        if byte & mask:
+            return False
+        self._bits[i >> 3] = byte | mask
+        self._count += 1
+        return True
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def memory_bytes(self) -> int:
+        return len(self._bits)
+
+
+class PageIdCache:
+    """One bit per heap page: has Smooth Scan processed it yet?"""
+
+    def __init__(self, num_pages: int):
+        self._bitmap = _Bitmap(max(1, num_pages))
+        self.num_pages = num_pages
+
+    def is_seen(self, page_id: int) -> bool:
+        """True when the page has already been processed."""
+        return self._bitmap.get(page_id)
+
+    def mark(self, page_id: int) -> bool:
+        """Record the page as processed; True if it was new."""
+        if not 0 <= page_id < max(1, self.num_pages):
+            raise ExecutionError(
+                f"page id {page_id} outside table of {self.num_pages} pages"
+            )
+        return self._bitmap.set(page_id)
+
+    @property
+    def pages_seen(self) -> int:
+        """How many distinct pages have been processed (``#P_seen``)."""
+        return self._bitmap.count
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bitmap footprint (140KB per million pages, as in §VI-B)."""
+        return self._bitmap.memory_bytes
+
+
+class TupleIdCache:
+    """One bit per tuple: was it produced before morphing started?"""
+
+    def __init__(self, num_pages: int, tuples_per_page: int):
+        self.tuples_per_page = tuples_per_page
+        self._bitmap = _Bitmap(max(1, num_pages * tuples_per_page))
+        self.recorded = 0
+
+    def _position(self, tid: TID) -> int:
+        return tid.page_id * self.tuples_per_page + tid.slot
+
+    def contains(self, tid: TID) -> bool:
+        """True when the tuple was already produced pre-morph."""
+        return self._bitmap.get(self._position(tid))
+
+    def add(self, tid: TID) -> None:
+        """Record a tuple produced by the traditional index scan."""
+        if self._bitmap.set(self._position(tid)):
+            self.recorded += 1
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bitmap footprint in bytes."""
+        return self._bitmap.memory_bytes
+
+
+@dataclass
+class ResultCacheStats:
+    """Instrumentation for Figure 9a."""
+
+    inserts: int = 0
+    probes: int = 0
+    hits: int = 0
+    evicted_entries: int = 0
+    spills: int = 0
+    unspills: int = 0
+    peak_entries: int = 0
+    peak_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Tuple requests served from the cache / total requests."""
+        return self.hits / self.probes if self.probes else 0.0
+
+
+class ResultCache:
+    """Range-partitioned store of qualifying tuples awaiting their probe.
+
+    ``separators`` (typically from
+    :meth:`~repro.index.btree.BTreeIndex.root_key_separators`) split the key
+    domain into partitions; :meth:`advance` bulk-drops every partition whose
+    key range lies entirely below the current probe key.  When
+    ``memory_limit_bytes`` is set, the partitions furthest ahead of the
+    probe position spill to simulated overflow files and are read back on
+    first probe.
+    """
+
+    def __init__(self, separators: list, bytes_per_entry: int,
+                 memory_limit_bytes: int | None = None,
+                 page_bytes: int = 8192):
+        self.separators = sorted(separators)
+        self.bytes_per_entry = max(1, bytes_per_entry)
+        self.memory_limit_bytes = memory_limit_bytes
+        self.page_bytes = page_bytes
+        n_parts = len(self.separators) + 1
+        self._partitions: list[dict[TID, Row]] = [{} for _ in range(n_parts)]
+        self._spilled: list[dict[TID, Row] | None] = [None] * n_parts
+        self._entries = 0
+        self.stats = ResultCacheStats()
+
+    # -- partition helpers -------------------------------------------------
+
+    def partition_of(self, key: object) -> int:
+        """Index of the partition whose key range contains ``key``."""
+        return bisect_right(self.separators, key)
+
+    @property
+    def num_partitions(self) -> int:
+        """Total partition count (``len(separators) + 1``)."""
+        return len(self._partitions)
+
+    @property
+    def entries(self) -> int:
+        """Entries currently held in memory (spilled ones excluded)."""
+        return self._entries
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint."""
+        return self._entries * self.bytes_per_entry
+
+    def _partition_pages(self, part: dict) -> int:
+        return max(1, math.ceil(len(part) * self.bytes_per_entry
+                                / self.page_bytes))
+
+    # -- operations --------------------------------------------------------
+
+    def insert(self, key: object, tid: TID, row: Row, disk=None) -> None:
+        """Park a qualifying tuple until its index probe arrives."""
+        i = self.partition_of(key)
+        if self._spilled[i] is not None:
+            self._spilled[i][tid] = row
+        else:
+            self._partitions[i][tid] = row
+            self._entries += 1
+        self.stats.inserts += 1
+        if self._entries > self.stats.peak_entries:
+            self.stats.peak_entries = self._entries
+            self.stats.peak_bytes = self.memory_bytes
+        if (self.memory_limit_bytes is not None
+                and self.memory_bytes > self.memory_limit_bytes):
+            self._spill_furthest(i, disk)
+
+    def take(self, key: object, tid: TID, disk=None) -> Row | None:
+        """Return (without deleting) the cached row for ``tid``, if any.
+
+        Spilled partitions are read back (charging sequential I/O on
+        ``disk``) before the probe — "overflow files that are read upon
+        reaching the range keys belong to".
+        """
+        i = self.partition_of(key)
+        self.stats.probes += 1
+        if self._spilled[i] is not None:
+            self._unspill(i, disk)
+        row = self._partitions[i].get(tid)
+        if row is not None:
+            self.stats.hits += 1
+        return row
+
+    def advance(self, key: object) -> int:
+        """Bulk-evict all partitions entirely below ``key``.
+
+        Returns the number of evicted entries.  Partition ``j`` covers keys
+        below ``separators[j]``; it is passed once ``key >= separators[j]``.
+        """
+        evicted = 0
+        for j, sep in enumerate(self.separators):
+            if key < sep:
+                break
+            if self._partitions[j]:
+                evicted += len(self._partitions[j])
+                self._entries -= len(self._partitions[j])
+                self._partitions[j] = {}
+            if self._spilled[j]:
+                self._spilled[j] = None
+        self.stats.evicted_entries += evicted
+        return evicted
+
+    # -- spilling ----------------------------------------------------------
+
+    def _spill_furthest(self, current_partition: int, disk) -> None:
+        """Spill the in-memory partition furthest ahead of the probe.
+
+        Preference order: partitions beyond the one being inserted into,
+        then (when the insert partition is itself the furthest) that
+        partition — something must give once the limit is exceeded.
+        """
+        candidates = [
+            j for j in range(self.num_partitions - 1, -1, -1)
+            if self._partitions[j] and self._spilled[j] is None
+        ]
+        if not candidates:
+            return
+        j = candidates[0]
+        part = self._partitions[j]
+        if disk is not None:
+            disk.spill(self._partition_pages(part))
+        self._spilled[j] = part
+        self._entries -= len(part)
+        self._partitions[j] = {}
+        self.stats.spills += 1
+
+    def _unspill(self, i: int, disk) -> None:
+        """Read a spilled partition back from its overflow file."""
+        part = self._spilled[i]
+        if part is None:
+            return
+        if disk is not None:
+            disk.spill(self._partition_pages(part))
+        self._spilled[i] = None
+        for tid, row in part.items():
+            self._partitions[i][tid] = row
+            self._entries += 1
+        self.stats.unspills += 1

@@ -1,0 +1,71 @@
+"""Instrumentation of one Smooth Scan execution.
+
+Everything Figures 7–9 report about the operator's internals is collected
+here: probe counts, mode transitions, the morphing-region trace, morphing
+accuracy (Fig. 9b) and the auxiliary-cache statistics (Fig. 9a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.caches import ResultCacheStats
+
+
+@dataclass
+class SmoothScanStats:
+    """Counters and traces produced by one SmoothScan execution."""
+
+    #: Index entries consumed (probes), including pre-morph Mode 0 ones.
+    probes: int = 0
+    #: Tuples produced by the traditional index scan before morphing.
+    mode0_tuples: int = 0
+    #: Result count at the moment morphing triggered (None = never; 0 = eager).
+    morphed_at: int | None = None
+    #: Heap pages fetched by smooth (Mode 1/2) processing.
+    pages_fetched: int = 0
+    #: Of those, pages that contained at least one qualifying tuple.
+    pages_with_results: int = 0
+    #: Heap pages fetched pre-morph by Mode 0 (may repeat; counts fetches).
+    mode0_page_fetches: int = 0
+    #: (probe ordinal, region size chosen for the next probe) trace.
+    region_trace: list[tuple[int, int]] = field(default_factory=list)
+    #: Largest morphing region ever used, in pages.
+    max_region_used: int = 1
+    #: Result-cache statistics (ordered scans only).
+    result_cache: ResultCacheStats | None = None
+    #: Auxiliary structure footprints in bytes.
+    page_cache_bytes: int = 0
+    tuple_cache_bytes: int = 0
+    #: Tuples emitted in total.
+    produced: int = 0
+
+    @property
+    def morphing_accuracy(self) -> float:
+        """Fig. 9b: pages containing results / pages checked by morphing."""
+        if self.pages_fetched == 0:
+            return 1.0
+        return self.pages_with_results / self.pages_fetched
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fig. 9a: result-cache hit rate (0.0 when no cache was used)."""
+        if self.result_cache is None:
+            return 0.0
+        return self.result_cache.hit_rate
+
+    def summary(self) -> dict:
+        """A flat dict for experiment tables."""
+        return {
+            "probes": self.probes,
+            "produced": self.produced,
+            "morphed_at": self.morphed_at,
+            "mode0_tuples": self.mode0_tuples,
+            "pages_fetched": self.pages_fetched,
+            "pages_with_results": self.pages_with_results,
+            "morphing_accuracy": self.morphing_accuracy,
+            "max_region_used": self.max_region_used,
+            "cache_hit_rate": self.cache_hit_rate,
+            "page_cache_bytes": self.page_cache_bytes,
+            "tuple_cache_bytes": self.tuple_cache_bytes,
+        }

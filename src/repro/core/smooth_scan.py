@@ -1,0 +1,271 @@
+"""The Smooth Scan operator — the paper's core contribution (Sections III-IV).
+
+Smooth Scan is driven by the secondary index like a classical index scan,
+but morphs its heap-access strategy as the observed selectivity evolves:
+
+* **Mode 0** (only under non-eager triggers): a true index scan — one
+  random heap fetch per probe, produced TIDs recorded in the Tuple ID
+  cache.
+* **Mode 1 — Entire Page Probe**: each fetched heap page is processed
+  completely; all qualifying tuples on it are produced (or parked in the
+  Result Cache when an interesting order must be preserved), and the page
+  is recorded in the Page ID cache so it is never fetched again.
+* **Mode 2+ — Flattening Access**: each probe fetches a *morphing region*
+  of adjacent pages in one near-sequential run; the region size evolves
+  under a :class:`~repro.core.policy.MorphPolicy` (doubling on selectivity
+  increase, with Elastic also halving on decrease), capped at the
+  configured maximum (2K pages ≈ 16MB, the paper's sweet spot).
+
+The operator never consults optimizer statistics — its only inputs are an
+index, a key range and a residual predicate.  With ``ordered=True`` it
+emits in strict index-key order (usable under ORDER BY / merge joins),
+otherwise tuples stream out as pages are processed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.context import ExecutionContext
+from repro.core.caches import PageIdCache, ResultCache, TupleIdCache
+from repro.core.morph_stats import SmoothScanStats
+from repro.core.policy import ElasticPolicy, MorphPolicy
+from repro.core.trigger import EagerTrigger, Trigger
+from repro.errors import PlanningError
+from repro.exec.expressions import (
+    KeyRange,
+    Predicate,
+    TruePredicate,
+    require_columns,
+)
+from repro.exec.iterator import Operator
+from repro.storage.table import Table
+from repro.storage.types import Row, TID
+
+_DEFAULT_RESULT_CACHE_PARTITIONS = 16
+
+
+class SmoothScan(Operator):
+    """Statistics-oblivious access path morphing between index and full scan.
+
+    Args:
+        table: the table to scan.
+        column: indexed column driving the probes.
+        key_range: key interval to scan (default: the whole index).
+        residual: extra predicate applied to every candidate tuple.
+        policy: morphing policy (default Elastic, the paper's choice).
+        trigger: when smooth behaviour starts (default Eager).
+        ordered: preserve index-key output order via the Result Cache.
+        max_mode: 1 caps the operator at Entire Page Probe (the Fig. 6
+            sensitivity curve); 2 enables Flattening Access.
+        max_region_pages: overrides the engine's region cap.
+        result_cache_partitions: key-range partitions for bulk eviction.
+        result_cache_memory_limit: bytes before far partitions spill.
+    """
+
+    def __init__(self, table: Table, column: str,
+                 key_range: KeyRange | None = None,
+                 residual: Predicate | None = None,
+                 policy: MorphPolicy | None = None,
+                 trigger: Trigger | None = None,
+                 ordered: bool = False,
+                 max_mode: int = 2,
+                 max_region_pages: int | None = None,
+                 result_cache_partitions: int = _DEFAULT_RESULT_CACHE_PARTITIONS,
+                 result_cache_memory_limit: int | None = None):
+        if max_mode not in (1, 2):
+            raise PlanningError(f"max_mode must be 1 or 2, got {max_mode}")
+        self.table = table
+        self.column = column
+        self.index = table.index_on(column)
+        self.key_range = key_range or KeyRange.all()
+        self.residual = residual or TruePredicate()
+        require_columns(table.schema, self.residual)
+        self.policy = policy or ElasticPolicy()
+        self.trigger = trigger or EagerTrigger()
+        self.ordered = ordered
+        self.max_mode = max_mode
+        self.max_region_pages = max_region_pages
+        self.result_cache_partitions = result_cache_partitions
+        self.result_cache_memory_limit = result_cache_memory_limit
+        self.schema = table.schema
+        #: Statistics of the most recent execution.
+        self.last_stats: SmoothScanStats | None = None
+
+    def name(self) -> str:
+        return (
+            f"SmoothScan({self.table.name}.{self.column}, "
+            f"policy={self.policy.name}, trigger={self.trigger.name}, "
+            f"{'ordered' if self.ordered else 'unordered'})"
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        stats = SmoothScanStats()
+        self.last_stats = stats
+
+        col_pos = self.schema.index_of(self.column)
+        residual_fn = self.residual.bind(self.schema)
+        in_range = self.key_range.contains
+
+        page_cache = PageIdCache(heap.num_pages)
+        stats.page_cache_bytes = page_cache.memory_bytes
+
+        tuple_cache: TupleIdCache | None = None
+        if not self.trigger.eager:
+            tuple_cache = TupleIdCache(heap.num_pages, heap.tuples_per_page)
+            stats.tuple_cache_bytes = tuple_cache.memory_bytes
+
+        result_cache: ResultCache | None = None
+        if self.ordered:
+            key_size = self.schema.columns[col_pos].byte_size
+            entry_bytes = (
+                self.schema.tuple_size(ctx.config.tuple_header) + key_size
+            )
+            result_cache = ResultCache(
+                separators=self.index.root_key_separators(
+                    self.result_cache_partitions
+                ),
+                bytes_per_entry=entry_bytes,
+                memory_limit_bytes=self.result_cache_memory_limit,
+                page_bytes=ctx.config.page_size,
+            )
+            stats.result_cache = result_cache.stats
+
+        policy = self.policy
+        max_region = self.max_region_pages or ctx.config.max_region_pages
+        if self.max_mode == 1:
+            max_region = 1
+        region = policy.initial_region()
+        mode0_active = not self.trigger.eager
+        pages_res_global = 0
+        pages_seen_smooth = 0
+
+        rng = self.key_range
+        for key, tid in self.index.scan(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            stats.probes += 1
+
+            # ---- Mode 0: traditional index scan until the trigger fires.
+            if mode0_active:
+                page = ctx.get_page(heap, tid.page_id)
+                stats.mode0_page_fetches += 1
+                ctx.charge_inspect()
+                row = page.get(tid.slot)
+                if residual_fn(row):
+                    stats.mode0_tuples += 1
+                    stats.produced += 1
+                    assert tuple_cache is not None
+                    tuple_cache.add(tid)
+                    ctx.charge_cache_insert()
+                    ctx.charge_emit()
+                    yield row
+                if self.trigger.should_morph(stats.produced):
+                    mode0_active = False
+                    stats.morphed_at = stats.produced
+                    override = self.trigger.post_morph_policy()
+                    if override is not None:
+                        policy = override
+                continue
+
+            # ---- Smooth modes: Result Cache first (ordered only) ...
+            if result_cache is not None:
+                result_cache.advance(key)
+                ctx.charge_cache_probe()
+                cached = result_cache.take(key, tid, disk=ctx.disk)
+                if cached is not None:
+                    stats.produced += 1
+                    ctx.charge_emit()
+                    yield cached
+                    continue
+
+            # ---- ... then the Page ID cache check.
+            ctx.charge_cache_probe()
+            if page_cache.is_seen(tid.page_id):
+                continue
+
+            # ---- Fetch and process the morphing region.
+            start = tid.page_id
+            end = min(heap.num_pages, start + region)
+            region_pages = 0
+            region_pages_res = 0
+            run_start: int | None = None
+            for pid in range(start, end):
+                if page_cache.is_seen(pid):
+                    if run_start is not None:
+                        yield from self._process_run(
+                            ctx, heap, run_start, pid - run_start,
+                            page_cache, tuple_cache, result_cache,
+                            col_pos, in_range, residual_fn, tid, stats,
+                        )
+                        region_pages += pid - run_start
+                        run_start = None
+                    continue
+                if run_start is None:
+                    run_start = pid
+            if run_start is not None:
+                yield from self._process_run(
+                    ctx, heap, run_start, end - run_start,
+                    page_cache, tuple_cache, result_cache,
+                    col_pos, in_range, residual_fn, tid, stats,
+                )
+                region_pages += end - run_start
+
+            region_pages_res = stats.pages_with_results - pages_res_global
+            pages_res_global = stats.pages_with_results
+            pages_seen_smooth += region_pages
+
+            # ---- Policy update (Eqs. (1) and (2)).
+            if region_pages > 0 and pages_seen_smooth > 0:
+                local_sel = region_pages_res / region_pages
+                global_sel = pages_res_global / pages_seen_smooth
+                region = min(
+                    max_region,
+                    max(1, policy.next_region(region, local_sel, global_sel)),
+                )
+                stats.region_trace.append((stats.probes, region))
+                if region > stats.max_region_used:
+                    stats.max_region_used = region
+
+    def _process_run(self, ctx: ExecutionContext, heap, run_start: int,
+                     run_len: int, page_cache: PageIdCache,
+                     tuple_cache: TupleIdCache | None,
+                     result_cache: ResultCache | None, col_pos: int,
+                     in_range, residual_fn, probe_tid: TID,
+                     stats: SmoothScanStats) -> Iterator[Row]:
+        """Fetch one contiguous run of unseen pages and probe them fully."""
+        for page in ctx.get_run(heap, run_start, run_len):
+            page_cache.mark(page.page_id)
+            ctx.charge_cache_insert()
+            stats.pages_fetched += 1
+            ctx.charge_inspect(len(page))
+            page_has_result = False
+            for slot, row in page.rows_with_slots():
+                key = row[col_pos]
+                if not in_range(key) or not residual_fn(row):
+                    continue
+                page_has_result = True
+                t = TID(page.page_id, slot)
+                if tuple_cache is not None:
+                    # Fig. 7b's post-morph overhead: a produced-tuple check
+                    # for every qualifying tuple found by Smooth Scan.
+                    ctx.charge_cache_probe()
+                    if tuple_cache.contains(t):
+                        continue
+                if result_cache is None:
+                    stats.produced += 1
+                    ctx.charge_emit()
+                    yield row
+                elif t == probe_tid:
+                    stats.produced += 1
+                    ctx.charge_emit()
+                    yield row
+                else:
+                    ctx.charge_cache_insert()
+                    result_cache.insert(key, t, row, disk=ctx.disk)
+            if page_has_result:
+                stats.pages_with_results += 1

@@ -1,0 +1,107 @@
+"""Switch Scan — the straw-man binary adaptation (Sections III and VI-F).
+
+Runs a classical index scan while counting produced tuples; the moment the
+count exceeds the optimizer's cardinality estimate, it abandons the index
+strategy and restarts as a full table scan.  Tuples already produced are
+remembered in a Tuple ID cache so the full-scan phase does not duplicate
+them.  The execution time around the threshold therefore jumps by a full
+scan's worth — the *performance cliff* of Figure 11 — while the worst case
+stays bounded (index cost at the threshold + one full scan).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.context import ExecutionContext
+from repro.core.caches import TupleIdCache
+from repro.exec.expressions import (
+    KeyRange,
+    Predicate,
+    TruePredicate,
+    require_columns,
+)
+from repro.exec.iterator import Operator
+from repro.storage.table import Table
+from repro.storage.types import Row, TID
+
+
+class SwitchScan(Operator):
+    """Index scan that switches (once, irrevocably) to a full scan.
+
+    Args:
+        table: the table to scan.
+        column: indexed column.
+        key_range: key interval to scan.
+        residual: extra predicate applied to every candidate tuple.
+        threshold: result-cardinality threshold (usually the optimizer's
+            estimate); exceeded ⇒ restart as a full scan.
+    """
+
+    def __init__(self, table: Table, column: str,
+                 key_range: KeyRange | None = None,
+                 residual: Predicate | None = None,
+                 threshold: int = 0):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.table = table
+        self.column = column
+        self.index = table.index_on(column)
+        self.key_range = key_range or KeyRange.all()
+        self.residual = residual or TruePredicate()
+        require_columns(table.schema, self.residual)
+        self.threshold = threshold
+        self.schema = table.schema
+        #: True when the last execution actually switched strategies.
+        self.switched: bool = False
+
+    def name(self) -> str:
+        return (
+            f"SwitchScan({self.table.name}.{self.column}, "
+            f"threshold={self.threshold})"
+        )
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        self.switched = False
+        residual_fn = self.residual.bind(self.schema)
+        in_range = self.key_range.contains
+        col_pos = self.schema.index_of(self.column)
+        produced_tids = TupleIdCache(heap.num_pages, heap.tuples_per_page)
+        produced = 0
+
+        # Phase 1: classical index scan, monitoring actual cardinality.
+        rng = self.key_range
+        for _key, tid in self.index.scan(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            page = ctx.get_page(heap, tid.page_id)
+            ctx.charge_inspect()
+            row = page.get(tid.slot)
+            if residual_fn(row):
+                produced += 1
+                produced_tids.add(tid)
+                ctx.charge_cache_insert()
+                ctx.charge_emit()
+                yield row
+            if produced > self.threshold:
+                self.switched = True
+                break
+        if not self.switched:
+            return
+
+        # Phase 2: restart as a full scan, skipping already-produced TIDs.
+        extent = ctx.config.extent_pages
+        for start in range(0, heap.num_pages, extent):
+            n = min(extent, heap.num_pages - start)
+            for page in ctx.get_run(heap, start, n):
+                ctx.charge_inspect(len(page))
+                for slot, row in page.rows_with_slots():
+                    if not in_range(row[col_pos]) or not residual_fn(row):
+                        continue
+                    ctx.charge_cache_probe()
+                    if produced_tids.contains(TID(page.page_id, slot)):
+                        continue
+                    ctx.charge_emit()
+                    yield row

@@ -1,0 +1,82 @@
+"""CPU-extended cost model (the technical report's "detailed cost model").
+
+Section V models I/O only and defers CPU to the paper's technical report
+[22], which also "corroborates the accuracy of the cost model in
+experiments".  This module provides that extension for the simulated
+engine: executed-time predictions that add the per-tuple CPU terms the
+engine actually charges, so predictions can be validated against
+measurements (see ``tests/test_calibration.py``).
+
+Predictions deliberately reuse the same Section V I/O formulas — the
+point is corroboration, not a second model.
+"""
+
+from __future__ import annotations
+
+from repro.config import EngineConfig
+from repro.costmodel import formulas
+from repro.costmodel.params import CostParams
+
+
+def _io_ms(units: float, p: CostParams, ms_per_unit: float) -> float:
+    return units * ms_per_unit
+
+
+def full_scan_ms(p: CostParams, config: EngineConfig,
+                 ms_per_unit: float) -> float:
+    """Executed-time estimate of a full scan: all pages + all tuples.
+
+    CPU: every stored tuple is inspected; qualifying ones are emitted.
+    """
+    io = formulas.full_scan_cost(p)
+    cpu = (p.num_tuples * config.cpu.tuple_inspect
+           + p.cardinality * config.cpu.tuple_emit)
+    return _io_ms(io, p, ms_per_unit) + cpu
+
+
+def index_scan_ms(p: CostParams, config: EngineConfig,
+                  ms_per_unit: float) -> float:
+    """Executed-time estimate of a classical index scan.
+
+    CPU: one leaf-entry advance and one tuple inspection per result.
+    """
+    io = formulas.index_scan_cost(p)
+    cpu = p.cardinality * (
+        config.cpu.index_entry
+        + config.cpu.tuple_inspect
+        + config.cpu.tuple_emit
+    )
+    return _io_ms(io, p, ms_per_unit) + cpu
+
+
+def smooth_scan_ms(p: CostParams, config: EngineConfig,
+                   ms_per_unit: float) -> float:
+    """Executed-time estimate of eager Smooth Scan.
+
+    I/O follows Eq. (23); CPU adds entire-page probing (every tuple of
+    every fetched page inspected), one leaf-entry advance plus one
+    page-cache probe per index entry, and emission of the results.
+    """
+    io = formulas.smooth_scan_cost(p)
+    pages_fetched = min(p.pages_with_results, p.num_pages)
+    if p.selectivity >= 1.0 / max(1, p.tuples_per_page):
+        # Dense enough that essentially every page is fetched.
+        pages_fetched = p.num_pages
+    cpu = (
+        pages_fetched * p.tuples_per_page * config.cpu.tuple_inspect
+        + pages_fetched * config.cpu.cache_insert
+        + p.cardinality * (config.cpu.index_entry + config.cpu.cache_probe)
+        + p.cardinality * config.cpu.tuple_emit
+    )
+    return _io_ms(io, p, ms_per_unit) + cpu
+
+
+def predict_ms(path: str, p: CostParams, config: EngineConfig,
+               ms_per_unit: float) -> float:
+    """Executed-time estimate for one access path by name."""
+    fn = {
+        "full": full_scan_ms,
+        "index": index_scan_ms,
+        "smooth": smooth_scan_ms,
+    }[path]
+    return fn(p, config, ms_per_unit)

@@ -1,0 +1,130 @@
+"""Competitive analysis of Smooth Scan (Section V-A).
+
+The competitive ratio (CR) is the maximum, over the whole selectivity
+interval, of Smooth Scan's cost divided by the optimal access-path cost at
+that selectivity.  The paper's summary:
+
+* **Greedy** — CR grows sublinearly with table size (soft bound): at tiny
+  selectivities Greedy has already expanded to huge regions, so its cost
+  approaches a full scan while the optimum is a handful of random reads.
+* **Selectivity-Increase** — also soft-bounded: an early dense region
+  inflates the region size for the rest of the scan (the Fig. 8 skew
+  pathology).
+* **Elastic** — hard-bounded by the device's random/sequential ratio; the
+  adversarial layout places a match on every second page, where flattening
+  never pays off.  For HDD (10:1) the paper reports a CR of 5.5 against a
+  full scan (theoretical bound 11); for SSD (2:1) a CR of 3 (bound 6).
+
+Here we provide both the analytic adversarial-layout cost functions and a
+grid search producing the CR curves; the *empirical* CR (the paper
+observes ≈ 2) is measured by executing the real operator in
+``repro.experiments.competitive``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costmodel import formulas
+from repro.costmodel.params import CostParams
+
+
+@dataclass(frozen=True)
+class CRPoint:
+    """One point of a competitive-ratio curve."""
+
+    selectivity: float
+    smooth_cost: float
+    optimal_cost: float
+
+    @property
+    def ratio(self) -> float:
+        """Smooth Scan cost over the optimal cost."""
+        if self.optimal_cost <= 0:
+            return 1.0
+        return self.smooth_cost / self.optimal_cost
+
+
+def elastic_adversarial_cost(p: CostParams) -> float:
+    """Elastic cost on the every-second-page adversarial layout.
+
+    With a match on every second page, each probed page contains results
+    while every expansion immediately looks sparse, so the morphing region
+    never grows past a couple of pages: half the table is fetched with
+    random accesses, plus the index leaf traversal.
+    """
+    half = p.num_pages / 2.0
+    return (
+        p.height * p.rand_cost
+        + half * p.rand_cost
+        + p.num_leaves / 2.0 * p.seq_cost
+    )
+
+
+def elastic_cr_bound(p: CostParams) -> float:
+    """The device-ratio-driven theoretical CR bound: ``(rand+seq)/seq``.
+
+    10:1 HDDs give 11, the paper's number; the adversarial layout reaches
+    about half of it because only every second page is fetched.
+    """
+    return (p.rand_cost + p.seq_cost) / p.seq_cost
+
+
+def elastic_cr_adversarial(p: CostParams) -> float:
+    """CR actually reached on the adversarial layout, vs the full scan."""
+    return elastic_adversarial_cost(p) / formulas.full_scan_cost(p)
+
+
+def greedy_cost(p: CostParams) -> float:
+    """Greedy Smooth Scan cost at a given selectivity (model).
+
+    Greedy doubles with every probe, so after ``j`` jumps it has streamed
+    ``2^j - 1`` pages; it stops once all result pages are covered — at
+    low selectivity that is ``log2`` jumps but nearly the whole table
+    streamed, which is the source of its soft (table-size-dependent) CR.
+    """
+    card = p.cardinality
+    if card == 0:
+        return p.height * p.rand_cost
+    jumps = min(card, math.ceil(math.log2(p.num_pages + 1)))
+    pages_streamed = min(p.num_pages, 2 ** jumps - 1)
+    return (
+        p.height * p.rand_cost
+        + jumps * p.rand_cost
+        + max(0, pages_streamed - jumps) * p.seq_cost
+        + p.leaves_with_results * p.seq_cost
+    )
+
+
+def greedy_cr(p: CostParams) -> float:
+    """Greedy CR at one selectivity point."""
+    return greedy_cost(p) / formulas.optimal_cost(p)
+
+
+def greedy_cr_curve(p: CostParams,
+                    selectivities: list[float]) -> list[CRPoint]:
+    """Greedy CR over a selectivity grid (sublinear in table size)."""
+    points = []
+    for sel in selectivities:
+        q = p.at_selectivity(sel)
+        points.append(CRPoint(sel, greedy_cost(q), formulas.optimal_cost(q)))
+    return points
+
+
+def smooth_model_cr_curve(p: CostParams,
+                          selectivities: list[float]) -> list[CRPoint]:
+    """Eq. (23) Smooth Scan cost vs optimal over a selectivity grid."""
+    points = []
+    for sel in selectivities:
+        q = p.at_selectivity(sel)
+        points.append(
+            CRPoint(sel, formulas.smooth_scan_cost(q),
+                    formulas.optimal_cost(q))
+        )
+    return points
+
+
+def max_cr(points: list[CRPoint]) -> CRPoint:
+    """The worst (maximum-ratio) point of a CR curve."""
+    return max(points, key=lambda pt: pt.ratio)

@@ -1,0 +1,152 @@
+"""Operator I/O cost formulas — Eqs. (10)-(23) of Section V.
+
+Costs are expressed in abstract I/O units (``seq_cost`` per sequential
+page, ``rand_cost`` per random page), exactly as the paper models them;
+CPU is deliberately excluded (the paper defers it to its technical
+report).  Multiply by a :class:`~repro.storage.disk.DiskProfile`'s
+``ms_per_unit`` to convert into simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.costmodel.params import CostParams
+
+
+def full_scan_cost(p: CostParams) -> float:
+    """Eq. (10): ``FS_cost = #P × seq_cost`` — selectivity-independent."""
+    return p.num_pages * p.seq_cost
+
+
+def index_scan_cost(p: CostParams, cardinality: int | None = None) -> float:
+    """Eq. (11): one descent + a random heap access per result tuple.
+
+    ``IS_cost = (height + card) × rand_cost + #leaves_res × seq_cost``.
+    """
+    card = p.cardinality if cardinality is None else cardinality
+    leaves_res = math.ceil(card / p.fanout)
+    return (p.height + card) * p.rand_cost + leaves_res * p.seq_cost
+
+
+def sort_scan_cost(p: CostParams) -> float:
+    """Bitmap-scan I/O estimate (extension; the paper gives no equation).
+
+    One descent, the result leaves sequentially, then every page holding a
+    result once, nearly sequentially after the TID pre-sort.
+    """
+    return (
+        p.height * p.rand_cost
+        + p.leaves_with_results * p.seq_cost
+        + p.pages_with_results * p.seq_cost
+    )
+
+
+@dataclass(frozen=True)
+class ModeSplit:
+    """Eq. (12): the result cardinality split across Smooth Scan modes."""
+
+    card_m0: int = 0
+    card_m1: int = 0
+    card_m2: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.card_m0, self.card_m1, self.card_m2) < 0:
+            raise ConfigError("mode cardinalities must be >= 0")
+
+    @property
+    def total(self) -> int:
+        """``card = card_m0 + card_m1 + card_m2``."""
+        return self.card_m0 + self.card_m1 + self.card_m2
+
+    @classmethod
+    def eager_flattening(cls, p: CostParams) -> "ModeSplit":
+        """The default eager split: everything handled by Mode 2+."""
+        return cls(card_m0=0, card_m1=0, card_m2=p.cardinality)
+
+
+def pages_mode1(p: CostParams, split: ModeSplit) -> int:
+    """Eq. (14): ``#P_m1 = min(card_m1, #P)`` (worst-case spread)."""
+    return min(split.card_m1, p.num_pages)
+
+
+def smooth_cost_mode1(p: CostParams, split: ModeSplit) -> float:
+    """Eq. (15): every Mode-1 page fetched with one random access."""
+    return pages_mode1(p, split) * p.rand_cost
+
+
+def pages_mode2(p: CostParams, split: ModeSplit) -> int:
+    """Eq. (16): ``#P_m2 = min(card_m2, #P - #P_m1)``."""
+    return min(split.card_m2, p.num_pages - pages_mode1(p, split))
+
+
+def random_ios_mode2_min(pages_m2: int) -> float:
+    """Eq. (20): best case — ``log2(#P_m2 + 1)`` doubling jumps.
+
+    Follows from the recurrence of Eqs. (17)-(19): with the region doubling
+    after every jump, n jumps cover ``2^n - 1`` pages.
+    """
+    return math.log2(pages_m2 + 1) if pages_m2 > 0 else 0.0
+
+def random_ios_mode2_max(p: CostParams, pages_m2: int) -> float:
+    """Eq. (21): worst case — ``min(#P_m2, log2(#P + 1))``."""
+    if pages_m2 <= 0:
+        return 0.0
+    return min(pages_m2, math.log2(p.num_pages + 1))
+
+
+def smooth_cost_mode2(p: CostParams, split: ModeSplit,
+                      jumps: str = "converged") -> float:
+    """Eq. (22): jump randomly ``#randio`` times, stream the rest.
+
+    ``jumps`` picks the Eq. (20) minimum (``"min"``), the Eq. (21) maximum
+    (``"max"``), or — like the paper's Section V — the common converged
+    value ``log2(#P + 1)`` both bounds approach (``"converged"``).
+    """
+    pages_m2 = pages_mode2(p, split)
+    if pages_m2 <= 0:
+        return 0.0
+    if jumps == "min":
+        randio = random_ios_mode2_min(pages_m2)
+    elif jumps == "max":
+        randio = random_ios_mode2_max(p, pages_m2)
+    elif jumps == "converged":
+        randio = min(pages_m2, math.log2(p.num_pages + 1))
+    else:
+        raise ConfigError(f"jumps must be min/max/converged, not {jumps!r}")
+    return randio * p.rand_cost + (pages_m2 - randio) * p.seq_cost
+
+
+def smooth_scan_cost(p: CostParams, split: ModeSplit | None = None,
+                     jumps: str = "converged") -> float:
+    """Eq. (23): ``SS_cost = SS_m0 + SS_m1 + SS_m2``.
+
+    Mode 0's cost is an index scan over its cardinality (the paper omits
+    the formula because it equals Eq. (11)); the descent is charged there
+    when Mode 0 is active, otherwise once at the scan start.
+    """
+    if split is None:
+        split = ModeSplit.eager_flattening(p)
+    cost = 0.0
+    if split.card_m0 > 0:
+        cost += index_scan_cost(p, split.card_m0)
+    else:
+        cost += p.height * p.rand_cost  # the single initial descent
+    cost += smooth_cost_mode1(p, split)
+    cost += smooth_cost_mode2(p, split, jumps=jumps)
+    # Leaf-chain traversal for the probed range, as in Eq. (11).
+    cost += p.leaves_with_results * p.seq_cost
+    return cost
+
+
+def optimal_cost(p: CostParams) -> float:
+    """The best traditional access path at this selectivity point.
+
+    The oracle baseline of the competitive analysis: the cheaper of a full
+    scan and a classical index scan (Sort Scan is excluded, matching the
+    paper's comparison "against optimal decisions" between the two
+    extremes Smooth Scan morphs between).
+    """
+    return min(full_scan_cost(p), index_scan_cost(p))

@@ -1,0 +1,126 @@
+"""Table I — the cost-model parameter set.
+
+:class:`CostParams` bundles the base quantities (tuple size, counts, page
+size, key size, selectivity, device costs) and derives everything else via
+:mod:`repro.index.layout`, the same math the physical B+-tree uses, so the
+analytic model and the executed system share one geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.index import layout
+from repro.storage.disk import DiskProfile
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Base cost-model parameters (Table I), one selectivity point.
+
+    Attributes:
+        tuple_size: ``TS`` — bytes per tuple, header included.
+        num_tuples: ``#T`` — tuples in the relation.
+        page_size: ``PS`` — page size in bytes.
+        page_header: page header bytes (excluded from the tuple area).
+        key_size: ``KS`` — bytes of the indexed key.
+        selectivity: ``sel`` — fraction of tuples qualifying, in [0, 1].
+        rand_cost: ``rand_cost`` — cost units per random page access.
+        seq_cost: ``seq_cost`` — cost units per sequential page access.
+    """
+
+    tuple_size: int
+    num_tuples: int
+    page_size: int = 8192
+    page_header: int = 512
+    key_size: int = 4
+    selectivity: float = 0.0
+    rand_cost: float = 10.0
+    seq_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.selectivity <= 1.0:
+            raise ConfigError(
+                f"selectivity {self.selectivity} outside [0, 1]"
+            )
+        if self.num_tuples < 0:
+            raise ConfigError("num_tuples must be >= 0")
+        if min(self.rand_cost, self.seq_cost) <= 0:
+            raise ConfigError("device costs must be positive")
+
+    # -- derived values (Eqs. (3)-(9)) -------------------------------------
+
+    @property
+    def tuples_per_page(self) -> int:
+        """``#TP`` (Eq. (3))."""
+        return layout.tuples_per_page(
+            self.page_size, self.page_header, self.tuple_size
+        )
+
+    @property
+    def num_pages(self) -> int:
+        """``#P`` (Eq. (4))."""
+        return layout.num_pages(self.num_tuples, self.tuples_per_page)
+
+    @property
+    def fanout(self) -> int:
+        """B+-tree fanout (Eq. (5))."""
+        return layout.fanout(self.page_size, self.key_size)
+
+    @property
+    def num_leaves(self) -> int:
+        """``#leaves`` (Eq. (6))."""
+        return layout.num_leaves(self.num_tuples, self.fanout)
+
+    @property
+    def height(self) -> int:
+        """``height`` (Eq. (7))."""
+        return layout.height(self.num_leaves, self.fanout)
+
+    @property
+    def cardinality(self) -> int:
+        """``card`` (Eq. (8))."""
+        return layout.result_cardinality(self.selectivity, self.num_tuples)
+
+    @property
+    def leaves_with_results(self) -> int:
+        """``#leaves_res`` (Eq. (9))."""
+        return layout.leaves_with_results(self.cardinality, self.fanout)
+
+    @property
+    def pages_with_results(self) -> int:
+        """``#P_res`` under the worst-case uniform spread (Eq. (13))."""
+        return min(self.cardinality, self.num_pages)
+
+    # -- constructors ------------------------------------------------------
+
+    def at_selectivity(self, selectivity: float) -> "CostParams":
+        """A copy of these parameters at another selectivity."""
+        return CostParams(
+            tuple_size=self.tuple_size,
+            num_tuples=self.num_tuples,
+            page_size=self.page_size,
+            page_header=self.page_header,
+            key_size=self.key_size,
+            selectivity=selectivity,
+            rand_cost=self.rand_cost,
+            seq_cost=self.seq_cost,
+        )
+
+    @classmethod
+    def from_table(cls, table, config, profile: DiskProfile,
+                   indexed_column: str,
+                   selectivity: float = 0.0) -> "CostParams":
+        """Derive parameters from a physical table + engine config."""
+        col = table.schema.columns[table.schema.index_of(indexed_column)]
+        return cls(
+            tuple_size=table.schema.tuple_size(config.tuple_header),
+            num_tuples=table.row_count,
+            page_size=config.page_size,
+            page_header=config.page_header,
+            key_size=col.byte_size,
+            selectivity=selectivity,
+            rand_cost=profile.rand_cost,
+            seq_cost=profile.seq_cost,
+        )

@@ -1,0 +1,64 @@
+"""SLA-driven trigger computation (Sections III-C and VI-D).
+
+Given an SLA expressed as a total operator cost bound, find the largest
+cardinality up to which a traditional index scan may run before Smooth
+Scan must take over so that — even if selectivity turns out to be 100% —
+the total cost stays within the bound.  The paper computes 32K tuples for
+an SLA of two full scans on the micro-benchmark; the same procedure here
+derives the trigger from Eq. (23).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import formulas
+from repro.costmodel.params import CostParams
+from repro.errors import ConfigError
+
+
+def worst_case_total_cost(p: CostParams, card_m0: int) -> float:
+    """Total cost if we run traditional until ``card_m0`` then morph,
+    and selectivity turns out to be 100%.
+
+    The remaining tuples are handled by Mode 2+ flattening over the whole
+    table (Mode 1 is skipped: at 100% selectivity every fetched page is
+    dense, so regions expand immediately).
+    """
+    full = p.at_selectivity(1.0)
+    split = formulas.ModeSplit(
+        card_m0=card_m0,
+        card_m1=0,
+        card_m2=max(0, full.cardinality - card_m0),
+    )
+    return formulas.smooth_scan_cost(full, split)
+
+
+def trigger_cardinality(p: CostParams, sla_cost: float) -> int:
+    """Largest Mode-0 cardinality that still guarantees ``sla_cost``.
+
+    Returns 0 when even eager Smooth Scan only just fits (morph from the
+    first tuple); raises ConfigError when the SLA is unachievable even
+    with an immediate morph.
+    """
+    if worst_case_total_cost(p, 0) > sla_cost:
+        raise ConfigError(
+            f"SLA bound {sla_cost:.0f} is below the eager worst case "
+            f"{worst_case_total_cost(p, 0):.0f}; no trigger can satisfy it"
+        )
+    lo, hi = 0, p.num_tuples
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if worst_case_total_cost(p, mid) <= sla_cost:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def sla_bound_for_full_scans(p: CostParams, multiple: float = 2.0) -> float:
+    """An SLA bound expressed as a multiple of the full-scan cost.
+
+    The paper's Fig. 7b experiment sets the bound to two full scans.
+    """
+    if multiple <= 0:
+        raise ConfigError("SLA multiple must be positive")
+    return multiple * formulas.full_scan_cost(p)

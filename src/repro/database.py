@@ -1,0 +1,141 @@
+"""The engine facade: tables, indexes, buffer pool and measured runs.
+
+A :class:`Database` is the single entry point applications use: create
+tables, load rows, build indexes, then execute physical plans cold (the
+paper clears all caches before each measured query).  One database owns one
+simulated disk and one buffer pool, shared by every query it executes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.context import ExecutionContext
+from repro.errors import StorageError
+from repro.index.btree import BTreeIndex
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskProfile, SimClock, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.table import Table
+from repro.storage.types import Row, Schema
+
+_MIN_AUTO_BUFFER_PAGES = 64
+_AUTO_BUFFER_FRACTION = 8  # shared_buffers ≈ heap size / 8
+
+
+class Database:
+    """An engine instance: configuration + storage + accounting."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 profile: DiskProfile | None = None):
+        self.config = config or DEFAULT_CONFIG
+        self.profile = profile or DiskProfile.hdd()
+        self.clock = SimClock()
+        self.disk = SimulatedDisk(
+            profile=self.profile,
+            clock=self.clock,
+            page_size=self.config.page_size,
+            extent_pages=self.config.extent_pages,
+        )
+        self.buffer = BufferPool(
+            disk=self.disk,
+            capacity_pages=self.config.buffer_pool_pages
+            or _MIN_AUTO_BUFFER_PAGES,
+            hit_cpu_ms=self.config.cpu.buffer_hit,
+        )
+        self.tables: dict[str, Table] = {}
+        self._next_file_id = 0
+
+    # -- schema operations --------------------------------------------------
+
+    def _allocate_file_id(self) -> int:
+        fid = self._next_file_id
+        self._next_file_id += 1
+        return fid
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; raises StorageError on duplicates."""
+        if name in self.tables:
+            raise StorageError(f"table {name!r} already exists")
+        tuple_size = schema.tuple_size(self.config.tuple_header)
+        heap = HeapFile(
+            file_id=self._allocate_file_id(),
+            schema=schema,
+            tuples_per_page=self.config.tuples_per_page(tuple_size),
+        )
+        table = Table(name, schema, heap)
+        self.tables[name] = table
+        self._autosize_buffer()
+        return table
+
+    def load_table(self, name: str, schema: Schema,
+                   rows: Iterable[Row]) -> Table:
+        """Create a table and bulk-append ``rows`` (no I/O is charged)."""
+        table = self.create_table(name, schema)
+        table.insert_many(rows)
+        self._autosize_buffer()
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise StorageError(f"no table named {name!r}") from None
+
+    def create_index(self, table_name: str, column: str,
+                     name: str | None = None) -> BTreeIndex:
+        """Build a secondary B+-tree on ``column`` (offline, not timed)."""
+        table = self.table(table_name)
+        col_pos = table.schema.index_of(column)
+        key_size = table.schema.columns[col_pos].byte_size
+        index = BTreeIndex(
+            name=name or f"{table_name}_{column}_idx",
+            file_id=self._allocate_file_id(),
+            key_size=key_size,
+            page_size=self.config.page_size,
+        )
+        index.bulk_load(
+            (row[col_pos], tid) for tid, row in table.heap.iter_rows()
+        )
+        table.indexes[column] = index
+        return index
+
+    def drop_index(self, table_name: str, column: str) -> None:
+        """Remove the secondary index on ``column`` if present."""
+        self.table(table_name).indexes.pop(column, None)
+
+    # -- execution ------------------------------------------------------
+
+    def context(self) -> ExecutionContext:
+        """A fresh charging context bound to this database's substrate."""
+        return ExecutionContext(
+            config=self.config,
+            clock=self.clock,
+            disk=self.disk,
+            buffer=self.buffer,
+        )
+
+    def cold_run(self) -> ExecutionContext:
+        """Reset caches, clock and I/O stats; returns a fresh context.
+
+        Reproduces the paper's measurement discipline: "we clear database
+        buffer caches as well as OS file system caches before each query".
+        """
+        self._autosize_buffer()
+        self.buffer.reset()
+        self.disk.reset()
+        self.clock.reset()
+        return self.context()
+
+    # -- internals -------------------------------------------------------
+
+    def _autosize_buffer(self) -> None:
+        """Size an auto buffer pool to 1/8 of total heap pages."""
+        if self.config.buffer_pool_pages is not None:
+            return
+        total = sum(t.num_pages for t in self.tables.values())
+        self.buffer.capacity_pages = max(
+            _MIN_AUTO_BUFFER_PAGES, total // _AUTO_BUFFER_FRACTION
+        )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Smooth Scan reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class at their boundary while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An :class:`~repro.config.EngineConfig` value is invalid."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated."""
+
+
+class PageFullError(StorageError):
+    """An insert was attempted on a heap page with no free slot."""
+
+
+class UnknownPageError(StorageError):
+    """A page id outside the file was requested."""
+
+
+class BTreeError(ReproError):
+    """A B+-tree invariant was violated or misused."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator was driven through an illegal state transition."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for the request."""
+
+
+class StatisticsError(ReproError):
+    """Statistics were requested for an unknown table or column."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

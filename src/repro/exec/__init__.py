@@ -1,0 +1,66 @@
+"""Physical execution engine: expressions, operators, measurement."""
+
+from repro.exec.aggregates import AggSpec, HashAggregate, scalar_aggregate
+from repro.exec.expressions import (
+    And,
+    Between,
+    Comparison,
+    CompareOp,
+    InList,
+    KeyRange,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    column_getter,
+    conjunction,
+    extract_range,
+)
+from repro.exec.iterator import Operator, explain
+from repro.exec.joins import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    MergeJoin,
+    NestedLoopJoin,
+)
+from repro.exec.misc import Filter, Limit, MapProject, Materialize, Project
+from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.sort import Sort
+from repro.exec.stats import RunResult, measure
+
+__all__ = [
+    "AggSpec",
+    "And",
+    "Between",
+    "Comparison",
+    "CompareOp",
+    "Filter",
+    "FullTableScan",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "IndexScan",
+    "InList",
+    "KeyRange",
+    "Limit",
+    "MapProject",
+    "Materialize",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "Not",
+    "Operator",
+    "Or",
+    "Predicate",
+    "Project",
+    "RunResult",
+    "Sort",
+    "SortScan",
+    "TruePredicate",
+    "column_getter",
+    "conjunction",
+    "explain",
+    "extract_range",
+    "measure",
+    "scalar_aggregate",
+    "scalar_aggregate",
+]

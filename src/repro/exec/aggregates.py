@@ -1,0 +1,145 @@
+"""Group-by and scalar aggregation.
+
+A :class:`HashAggregate` with an empty group-by acts as a scalar aggregate
+that always emits exactly one row — the shape of TPC-H Q6.  Aggregate
+inputs can be plain columns or computed expressions (``value`` callables),
+covering forms like ``sum(l_extendedprice * (1 - l_discount))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.context import ExecutionContext
+from repro.errors import PlanningError
+from repro.exec.iterator import Operator
+from repro.storage.types import Column, ColumnType, Row, Schema
+
+_SUPPORTED = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output.
+
+    Attributes:
+        func: one of ``sum, count, avg, min, max``.
+        output: output column name.
+        column: input column name, or ``None`` for ``count(*)``.
+        value: optional ``row -> value`` callable overriding ``column``.
+        ctype: output column type (FLOAT by default for sum/avg).
+    """
+
+    func: str
+    output: str
+    column: str | None = None
+    value: Callable[[Row], object] | None = None
+    ctype: ColumnType = ColumnType.FLOAT
+
+    def __post_init__(self) -> None:
+        if self.func not in _SUPPORTED:
+            raise PlanningError(
+                f"unsupported aggregate {self.func!r}; pick from {_SUPPORTED}"
+            )
+        if self.func != "count" and self.column is None and self.value is None:
+            raise PlanningError(f"{self.func} needs a column or value callable")
+
+
+class _Accumulator:
+    """Mutable per-group state for one AggSpec."""
+
+    __slots__ = ("func", "count", "total", "best")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = 0
+        self.total = 0.0
+        self.best = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return  # SQL semantics: aggregates skip NULLs
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total += value  # type: ignore[operator]
+        elif self.func == "min":
+            if self.best is None or value < self.best:  # type: ignore[operator]
+                self.best = value
+        elif self.func == "max":
+            if self.best is None or value > self.best:  # type: ignore[operator]
+                self.best = value
+
+    def result(self) -> object:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+class HashAggregate(Operator):
+    """Hash-based grouping; with ``group_by=[]`` it is a scalar aggregate."""
+
+    def __init__(self, child: Operator, group_by: Sequence[str],
+                 aggs: Sequence[AggSpec]):
+        if not aggs and not group_by:
+            raise PlanningError("aggregate needs group keys or aggregates")
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggs = list(aggs)
+        self._group_positions = [
+            child.schema.index_of(c) for c in self.group_by
+        ]
+        self._getters: list[Callable[[Row], object] | None] = []
+        for spec in self.aggs:
+            if spec.value is not None:
+                self._getters.append(spec.value)
+            elif spec.column is not None:
+                pos = child.schema.index_of(spec.column)
+                self._getters.append(lambda row, _p=pos: row[_p])
+            else:
+                self._getters.append(None)  # count(*)
+        out_columns = [
+            child.schema.columns[p] for p in self._group_positions
+        ]
+        out_columns += [
+            Column(spec.output,
+                   ColumnType.INT if spec.func == "count" else spec.ctype)
+            for spec in self.aggs
+        ]
+        self.schema = Schema(out_columns)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def name(self) -> str:
+        keys = ", ".join(self.group_by) or "<scalar>"
+        funcs = ", ".join(f"{s.func}({s.column or '*'})" for s in self.aggs)
+        return f"HashAggregate([{keys}] {funcs})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        groups: dict[tuple, list[_Accumulator]] = {}
+        gpos = self._group_positions
+        for row in self.child.rows(ctx):
+            ctx.charge_hash()
+            key = tuple(row[p] for p in gpos)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [_Accumulator(s.func) for s in self.aggs]
+                groups[key] = accs
+            for acc, getter in zip(accs, self._getters):
+                acc.add(getter(row) if getter is not None else 1)
+        if not groups and not self.group_by:
+            # Scalar aggregates emit one row even on empty input.
+            groups[()] = [_Accumulator(s.func) for s in self.aggs]
+        for key, accs in groups.items():
+            ctx.charge_emit()
+            yield key + tuple(acc.result() for acc in accs)
+
+
+def scalar_aggregate(child: Operator, aggs: Sequence[AggSpec]) -> HashAggregate:
+    """Convenience wrapper: an aggregate with no grouping keys."""
+    return HashAggregate(child, group_by=[], aggs=aggs)

@@ -1,0 +1,386 @@
+"""Predicates and key ranges.
+
+Predicates are small composable objects that *bind* against a schema into a
+plain ``row -> bool`` closure, so per-row evaluation never does name
+lookups.  :func:`extract_range` splits a predicate into the key range an
+index can serve plus the residual part that must be re-checked per tuple —
+the contract between the planner and every index-driven access path
+(classical, Sort, Switch and Smooth Scan alike).
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import PlanningError
+from repro.storage.types import Row, Schema
+
+RowPredicate = Callable[[Row], bool]
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators supported in predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def fn(self) -> Callable[[object, object], bool]:
+        """The Python comparison implementing this operator."""
+        return {
+            CompareOp.EQ: operator.eq,
+            CompareOp.NE: operator.ne,
+            CompareOp.LT: operator.lt,
+            CompareOp.LE: operator.le,
+            CompareOp.GT: operator.gt,
+            CompareOp.GE: operator.ge,
+        }[self]
+
+
+class Predicate(ABC):
+    """A boolean expression over one row."""
+
+    @abstractmethod
+    def bind(self, schema: Schema) -> RowPredicate:
+        """Compile to a ``row -> bool`` closure for ``schema``."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Names of all columns the predicate references."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or([self, other])
+
+
+class TruePredicate(Predicate):
+    """Matches every row (the default when no filter is given)."""
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        return lambda row: True
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> value``."""
+
+    column: str
+    op: CompareOp
+    value: object
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        idx = schema.index_of(self.column)
+        fn = self.op.fn
+        value = self.value
+        return lambda row: fn(row[idx], value)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.column} {self.op.value} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``lo <(=) column <(=) hi``."""
+
+    column: str
+    lo: object
+    hi: object
+    lo_inclusive: bool = True
+    hi_inclusive: bool = False
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        idx = schema.index_of(self.column)
+        lo, hi = self.lo, self.hi
+        lo_ok = operator.ge if self.lo_inclusive else operator.gt
+        hi_ok = operator.le if self.hi_inclusive else operator.lt
+        return lambda row: lo_ok(row[idx], lo) and hi_ok(row[idx], hi)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo_b = "<=" if self.lo_inclusive else "<"
+        hi_b = "<=" if self.hi_inclusive else "<"
+        return f"{self.lo!r} {lo_b} {self.column} {hi_b} {self.hi!r}"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (values)``."""
+
+    column: str
+    values: tuple
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        idx = schema.index_of(self.column)
+        values = frozenset(self.values)
+        return lambda row: row[idx] in values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = tuple(parts)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = [p.bind(schema) for p in self.parts]
+        return lambda row: all(f(row) for f in bound)
+
+    def columns(self) -> set[str]:
+        return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, parts: Sequence[Predicate]):
+        self.parts = tuple(parts)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = [p.bind(schema) for p in self.parts]
+        return lambda row: any(f(row) for f in bound)
+
+    def columns(self) -> set[str]:
+        return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = self.part.bind(schema)
+        return lambda row: not bound(row)
+
+    def columns(self) -> set[str]:
+        return self.part.columns()
+
+
+@dataclass(frozen=True)
+class StringMatch(Predicate):
+    """SQL LIKE-style matching: prefix, suffix or substring.
+
+    ``kind`` is one of ``"prefix"`` (``LIKE 'x%'``), ``"suffix"``
+    (``LIKE '%x'``) or ``"contains"`` (``LIKE '%x%'``).
+    """
+
+    column: str
+    kind: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("prefix", "suffix", "contains"):
+            raise PlanningError(
+                f"StringMatch kind must be prefix/suffix/contains, "
+                f"got {self.kind!r}"
+            )
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        idx = schema.index_of(self.column)
+        value = self.value
+        if self.kind == "prefix":
+            return lambda row: row[idx].startswith(value)
+        if self.kind == "suffix":
+            return lambda row: row[idx].endswith(value)
+        return lambda row: value in row[idx]
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pattern = {
+            "prefix": f"{self.value}%",
+            "suffix": f"%{self.value}",
+            "contains": f"%{self.value}%",
+        }[self.kind]
+        return f"{self.column} LIKE {pattern!r}"
+
+
+@dataclass(frozen=True)
+class ColumnComparison(Predicate):
+    """``left_column <op> right_column`` — two columns of the same row.
+
+    The predicate class whose selectivity no per-column statistic can
+    estimate; TPC-H's correlated dates (``l_commitdate < l_receiptdate``)
+    flow through here, and the optimizer's guess is a blind default.
+    """
+
+    left: str
+    op: CompareOp
+    right: str
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        li = schema.index_of(self.left)
+        ri = schema.index_of(self.right)
+        fn = self.op.fn
+        return lambda row: fn(row[li], row[ri])
+
+    def columns(self) -> set[str]:
+        return {self.left, self.right}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A (possibly half-open) key interval an index scan can serve.
+
+    ``None`` bounds mean unbounded on that side.
+    """
+
+    lo: object | None = None
+    hi: object | None = None
+    lo_inclusive: bool = True
+    hi_inclusive: bool = False
+
+    @classmethod
+    def all(cls) -> "KeyRange":
+        """The unbounded range (a full index sweep)."""
+        return cls()
+
+    @classmethod
+    def equal(cls, value: object) -> "KeyRange":
+        """The point range ``[value, value]``."""
+        return cls(lo=value, hi=value, lo_inclusive=True, hi_inclusive=True)
+
+    def contains(self, key: object) -> bool:
+        """True when ``key`` lies inside the range."""
+        if self.lo is not None:
+            if self.lo_inclusive:
+                if key < self.lo:
+                    return False
+            elif key <= self.lo:
+                return False
+        if self.hi is not None:
+            if self.hi_inclusive:
+                if key > self.hi:
+                    return False
+            elif key >= self.hi:
+                return False
+        return True
+
+    def intersect(self, other: "KeyRange") -> "KeyRange":
+        """The intersection of two ranges (may be empty)."""
+        lo, lo_inc = self.lo, self.lo_inclusive
+        if other.lo is not None and (lo is None or other.lo > lo or (
+                other.lo == lo and not other.lo_inclusive)):
+            lo, lo_inc = other.lo, other.lo_inclusive
+        hi, hi_inc = self.hi, self.hi_inclusive
+        if other.hi is not None and (hi is None or other.hi < hi or (
+                other.hi == hi and not other.hi_inclusive)):
+            hi, hi_inc = other.hi, other.hi_inclusive
+        return KeyRange(lo, hi, lo_inc, hi_inc)
+
+
+def _range_of_comparison(cmp: Comparison) -> KeyRange | None:
+    """The key range implied by one comparison, if any."""
+    if cmp.op is CompareOp.EQ:
+        return KeyRange.equal(cmp.value)
+    if cmp.op is CompareOp.LT:
+        return KeyRange(hi=cmp.value, hi_inclusive=False)
+    if cmp.op is CompareOp.LE:
+        return KeyRange(hi=cmp.value, hi_inclusive=True)
+    if cmp.op is CompareOp.GT:
+        return KeyRange(lo=cmp.value, lo_inclusive=False)
+    if cmp.op is CompareOp.GE:
+        return KeyRange(lo=cmp.value, lo_inclusive=True)
+    return None  # NE is not a range
+
+
+def extract_range(predicate: Predicate,
+                  column: str) -> tuple[KeyRange | None, Predicate]:
+    """Split ``predicate`` into an index range on ``column`` + a residual.
+
+    Returns ``(range, residual)``; ``range`` is ``None`` when the predicate
+    does not constrain ``column`` with a usable range (then the residual is
+    the whole predicate).  Only top-level conjunctions are decomposed —
+    the same simplification production planners start from.
+    """
+    if isinstance(predicate, Comparison) and predicate.column == column:
+        rng = _range_of_comparison(predicate)
+        if rng is not None:
+            return rng, TruePredicate()
+        return None, predicate
+    if isinstance(predicate, Between) and predicate.column == column:
+        return (
+            KeyRange(predicate.lo, predicate.hi,
+                     predicate.lo_inclusive, predicate.hi_inclusive),
+            TruePredicate(),
+        )
+    if isinstance(predicate, And):
+        combined: KeyRange | None = None
+        residual: list[Predicate] = []
+        for part in predicate.parts:
+            rng, rest = extract_range(part, column)
+            if rng is None:
+                residual.append(part)
+            else:
+                combined = rng if combined is None else combined.intersect(rng)
+                if not isinstance(rest, TruePredicate):
+                    residual.append(rest)
+        if combined is None:
+            return None, predicate
+        if not residual:
+            return combined, TruePredicate()
+        if len(residual) == 1:
+            return combined, residual[0]
+        return combined, And(residual)
+    return None, predicate
+
+
+def conjunction(parts: Iterable[Predicate]) -> Predicate:
+    """AND together ``parts``, simplifying the empty and singleton cases."""
+    flat = [p for p in parts if not isinstance(p, TruePredicate)]
+    if not flat:
+        return TruePredicate()
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def column_getter(schema: Schema, column: str) -> Callable[[Row], object]:
+    """A fast ``row -> value`` accessor for one column."""
+    idx = schema.index_of(column)
+    return lambda row: row[idx]
+
+
+def require_columns(schema: Schema, predicate: Predicate) -> None:
+    """Raise PlanningError if the predicate references unknown columns."""
+    missing = [c for c in predicate.columns() if not schema.has_column(c)]
+    if missing:
+        raise PlanningError(
+            f"predicate references columns {missing} absent from schema "
+            f"{schema.column_names}"
+        )

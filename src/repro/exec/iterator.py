@@ -1,0 +1,48 @@
+"""Volcano-style physical operators.
+
+Every operator exposes its output :class:`~repro.storage.types.Schema` and
+a :meth:`Operator.rows` generator that pulls from its children, charging
+simulated costs through the :class:`~repro.context.ExecutionContext` as it
+goes.  Generators give exactly the pipelined, tuple-at-a-time execution
+model whose preservation is one of Smooth Scan's selling points over the
+blocking Sort Scan.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.context import ExecutionContext
+from repro.storage.types import Row, Schema
+
+
+class Operator(ABC):
+    """Base class of all physical operators."""
+
+    #: Output schema; set by each concrete operator's ``__init__``.
+    schema: Schema
+
+    @abstractmethod
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        """Yield output rows, charging simulated costs on ``ctx``."""
+
+    def children(self) -> tuple["Operator", ...]:
+        """Child operators, for plan display; leaves return ()."""
+        return ()
+
+    def name(self) -> str:
+        """Short display name used by :func:`explain`."""
+        return type(self).__name__
+
+    def collect(self, ctx: ExecutionContext) -> list[Row]:
+        """Run to completion and materialize all output rows."""
+        return list(self.rows(ctx))
+
+
+def explain(op: Operator, depth: int = 0) -> str:
+    """Render an operator tree as an indented single-string plan."""
+    lines = ["  " * depth + f"-> {op.name()}"]
+    for child in op.children():
+        lines.append(explain(child, depth + 1))
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Small plumbing operators: Filter, Project, MapProject, Limit, Materialize."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.context import ExecutionContext
+from repro.errors import PlanningError
+from repro.exec.expressions import Predicate, require_columns
+from repro.exec.iterator import Operator
+from repro.storage.types import Column, Row, Schema
+
+
+class Filter(Operator):
+    """Drop child rows that fail a predicate."""
+
+    def __init__(self, child: Operator, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+        require_columns(child.schema, predicate)
+        self.schema = child.schema
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def name(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        matches = self.predicate.bind(self.schema)
+        for row in self.child.rows(ctx):
+            ctx.charge_inspect()
+            if matches(row):
+                yield row
+
+
+class Project(Operator):
+    """Keep a subset of columns, in the given order."""
+
+    def __init__(self, child: Operator, columns: Sequence[str]):
+        if not columns:
+            raise PlanningError("Project needs at least one column")
+        self.child = child
+        self.columns = list(columns)
+        positions = [child.schema.index_of(c) for c in self.columns]
+        self._positions = positions
+        self.schema = Schema([child.schema.columns[p] for p in positions])
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def name(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        positions = self._positions
+        for row in self.child.rows(ctx):
+            yield tuple(row[p] for p in positions)
+
+
+class MapProject(Operator):
+    """Compute derived columns with an arbitrary row function.
+
+    The caller supplies the output schema explicitly — the executor cannot
+    infer types from a Python callable.
+    """
+
+    def __init__(self, child: Operator, out_schema: Schema,
+                 fn: Callable[[Row], Row]):
+        self.child = child
+        self.schema = out_schema
+        self.fn = fn
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        fn = self.fn
+        for row in self.child.rows(ctx):
+            out = fn(row)
+            self.schema.validate_row(out)
+            yield out
+
+
+class Rename(Operator):
+    """Rename columns (aliasing for self-joins); values pass through."""
+
+    def __init__(self, child: Operator, mapping: dict[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+        columns = []
+        for col in child.schema.columns:
+            new_name = self.mapping.get(col.name, col.name)
+            columns.append(Column(new_name, col.ctype, col.length))
+        self.schema = Schema(columns)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def name(self) -> str:
+        return f"Rename({self.mapping})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return self.child.rows(ctx)
+
+
+class Limit(Operator):
+    """Stop after ``n`` rows (early pipeline termination)."""
+
+    def __init__(self, child: Operator, n: int):
+        if n < 0:
+            raise PlanningError("Limit must be non-negative")
+        self.child = child
+        self.n = n
+        self.schema = child.schema
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def name(self) -> str:
+        return f"Limit({self.n})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.n == 0:
+            return
+        emitted = 0
+        for row in self.child.rows(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.n:
+                return
+
+
+class Materialize(Operator):
+    """Run the child once, cache its output, replay it on re-execution.
+
+    Used for join inputs that are consumed multiple times; replays charge
+    only emission CPU, modeling an in-memory temp table.
+    """
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self.schema = child.schema
+        self._cache: list[Row] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.rows(ctx))
+        else:
+            ctx.charge_emit(len(self._cache))
+        yield from self._cache
+
+    def invalidate(self) -> None:
+        """Drop the cache (e.g. between measured runs)."""
+        self._cache = None

@@ -1,0 +1,173 @@
+"""The three traditional access paths of Section II.
+
+* :class:`FullTableScan` — stream every heap page sequentially in extents.
+* :class:`IndexScan` — classical non-clustered index scan: one random heap
+  page fetch per qualifying TID, repeated pages re-fetched; emits in key
+  order (the path that collapses when selectivity is underestimated).
+* :class:`SortScan` — PostgreSQL's bitmap heap scan: collect qualifying
+  TIDs from the index, sort by page, then fetch pages in near-sequential
+  order; blocking, emits in physical order.
+
+Smooth Scan and Switch Scan live in :mod:`repro.core` — they are the
+paper's contribution, these are its baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.context import ExecutionContext
+from repro.exec.expressions import (
+    KeyRange,
+    Predicate,
+    TruePredicate,
+    require_columns,
+)
+from repro.exec.iterator import Operator
+from repro.storage.table import Table
+from repro.storage.types import Row, TID
+
+
+class FullTableScan(Operator):
+    """Sequential scan of every heap page, extent by extent (Eq. (10))."""
+
+    def __init__(self, table: Table, predicate: Predicate | None = None):
+        self.table = table
+        self.predicate = predicate or TruePredicate()
+        require_columns(table.schema, self.predicate)
+        self.schema = table.schema
+
+    def name(self) -> str:
+        return f"FullTableScan({self.table.name})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        matches = self.predicate.bind(self.schema)
+        extent = ctx.config.extent_pages
+        for start in range(0, heap.num_pages, extent):
+            n = min(extent, heap.num_pages - start)
+            for page in ctx.get_run(heap, start, n):
+                ctx.charge_inspect(len(page))
+                for row in page:
+                    if matches(row):
+                        ctx.charge_emit()
+                        yield row
+
+
+class IndexScan(Operator):
+    """Classical non-clustered index scan (Eq. (11)).
+
+    Traverses the B+-tree once to the first qualifying entry, then follows
+    the leaf chain; each TID triggers a heap page fetch — random, and
+    possibly repeated, which is precisely the behaviour Smooth Scan's Page
+    ID Cache eliminates.  Output is in index-key order.
+    """
+
+    def __init__(self, table: Table, column: str,
+                 key_range: KeyRange | None = None,
+                 residual: Predicate | None = None):
+        self.table = table
+        self.column = column
+        self.index = table.index_on(column)
+        self.key_range = key_range or KeyRange.all()
+        self.residual = residual or TruePredicate()
+        require_columns(table.schema, self.residual)
+        self.schema = table.schema
+
+    def name(self) -> str:
+        return f"IndexScan({self.table.name}.{self.column})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        matches = self.residual.bind(self.schema)
+        rng = self.key_range
+        for _key, tid in self.index.scan(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            page = ctx.get_page(heap, tid.page_id)
+            ctx.charge_inspect()
+            row = page.get(tid.slot)
+            if matches(row):
+                ctx.charge_emit()
+                yield row
+
+
+class SortScan(Operator):
+    """Bitmap heap scan: sort qualifying TIDs by page, then fetch (§II).
+
+    Phase 1 (blocking): drain the index range, collecting TIDs, and sort
+    them in heap-page order.  Phase 2: fetch each page containing results
+    at most once, in ascending page order — a pattern disk prefetchers
+    serve nearly sequentially.  Emits in physical (TID) order, so an
+    ``ORDER BY`` on the key needs an explicit sort on top.
+    """
+
+    def __init__(self, table: Table, column: str,
+                 key_range: KeyRange | None = None,
+                 residual: Predicate | None = None):
+        self.table = table
+        self.column = column
+        self.index = table.index_on(column)
+        self.key_range = key_range or KeyRange.all()
+        self.residual = residual or TruePredicate()
+        require_columns(table.schema, self.residual)
+        self.schema = table.schema
+
+    def name(self) -> str:
+        return f"SortScan({self.table.name}.{self.column})"
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        matches = self.residual.bind(self.schema)
+        rng = self.key_range
+
+        # Phase 1: collect qualifying TIDs from the index, then pre-sort
+        # them by heap placement (page, slot).
+        tids: list[TID] = [
+            tid for _key, tid in self.index.scan(
+                ctx, lo=rng.lo, hi=rng.hi,
+                lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+            )
+        ]
+        if not tids:
+            return
+        tids.sort()
+        ctx.charge_compare(_nlogn(len(tids)))
+
+        # Phase 2: walk pages in ascending order, fetching each once.
+        # Contiguous page spans are fetched as runs (read-ahead batching).
+        pages: dict[int, list[int]] = {}
+        for tid in tids:
+            pages.setdefault(tid.page_id, []).append(tid.slot)
+        page_ids = sorted(pages)
+        for run_start, run_len in _contiguous_runs(page_ids):
+            fetched = ctx.get_run(heap, run_start, run_len)
+            for page in fetched:
+                for slot in pages[page.page_id]:
+                    ctx.charge_inspect()
+                    row = page.get(slot)
+                    if matches(row):
+                        ctx.charge_emit()
+                        yield row
+
+
+def _contiguous_runs(page_ids: list[int]) -> Iterator[tuple[int, int]]:
+    """Group a sorted page-id list into maximal (start, length) runs."""
+    if not page_ids:
+        return
+    start = prev = page_ids[0]
+    for pid in page_ids[1:]:
+        if pid == prev + 1:
+            prev = pid
+            continue
+        yield start, prev - start + 1
+        start = prev = pid
+    yield start, prev - start + 1
+
+
+def _nlogn(n: int) -> int:
+    """Comparison count estimate for sorting ``n`` items."""
+    if n < 2:
+        return n
+    return n * max(1, (n - 1).bit_length())

@@ -1,0 +1,105 @@
+"""Per-run measurement: what one executed query cost.
+
+A :class:`RunResult` packages everything the paper reports about a single
+query execution: rows produced, simulated execution time split into CPU and
+blocking I/O wait (Figure 4's bar segments), and the I/O request / volume
+accounting of Table II.  :func:`measure` wraps an operator execution with
+snapshot/diff bookkeeping around the shared clock and disk stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.database import Database
+from repro.exec.iterator import Operator
+from repro.storage.disk import DiskStats
+from repro.storage.types import Row
+
+
+@dataclass
+class RunResult:
+    """Everything measured about one query execution."""
+
+    rows: list[Row]
+    io_ms: float
+    cpu_ms: float
+    disk: DiskStats
+    buffer_hits: int
+    buffer_misses: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated execution time in milliseconds."""
+        return self.io_ms + self.cpu_ms
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated execution time in seconds."""
+        return self.total_ms / 1000.0
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows the query produced (works with keep_rows=False)."""
+        if "row_count" in self.extras:
+            return self.extras["row_count"]
+        return len(self.rows)
+
+    @property
+    def read_gb(self) -> float:
+        """Data transferred from disk, in GB (Table II's second row)."""
+        return self.disk.bytes_read / 1e9
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult(rows={self.row_count}, time={self.total_seconds:.3f}s "
+            f"[io={self.io_ms / 1000:.3f}s cpu={self.cpu_ms / 1000:.3f}s], "
+            f"io_requests={self.disk.requests}, read={self.read_gb:.3f}GB)"
+        )
+
+
+def measure(db: Database, plan: Operator, cold: bool = True,
+            keep_rows: bool = True) -> RunResult:
+    """Execute ``plan`` on ``db`` and measure it.
+
+    With ``cold=True`` (the paper's methodology) all caches are dropped
+    first.  With ``keep_rows=False`` output rows are counted but discarded,
+    for large sweeps where materialization would dominate Python time.
+    """
+    ctx = db.cold_run() if cold else db.context()
+    io0, cpu0 = db.clock.snapshot()
+    disk0 = db.disk.stats.snapshot()
+    hits0, misses0 = db.buffer.stats.hits, db.buffer.stats.misses
+
+    if keep_rows:
+        rows = list(plan.rows(ctx))
+    else:
+        count = 0
+        for _ in plan.rows(ctx):
+            count += 1
+        rows = []
+    io1, cpu1 = db.clock.snapshot()
+    result = RunResult(
+        rows=rows,
+        io_ms=io1 - io0,
+        cpu_ms=cpu1 - cpu0,
+        disk=db.disk.stats.diff(disk0),
+        buffer_hits=db.buffer.stats.hits - hits0,
+        buffer_misses=db.buffer.stats.misses - misses0,
+    )
+    if not keep_rows:
+        result.extras["row_count"] = count
+    return result
+
+
+def count_rows(rows: Iterable[Row]) -> int:
+    """Drain an iterator, returning how many rows it yielded."""
+    n = 0
+    for _ in rows:
+        n += 1
+    return n
+
+
+MeasureFn = Callable[[Database, Operator], RunResult]

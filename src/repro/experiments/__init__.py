@@ -1,0 +1,38 @@
+"""One module per paper table/figure; shared by benchmarks, examples, tests."""
+
+from repro.experiments.competitive import CompetitiveResult, run_competitive
+from repro.experiments.fig1 import Fig1Result, Fig1Setup, make_tuned_tpch, run_fig1
+from repro.experiments.fig4_table2 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7aResult, Fig7bResult, run_fig7a, run_fig7b
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import Fig11Result, run_fig11
+
+__all__ = [
+    "CompetitiveResult",
+    "Fig11Result",
+    "Fig1Result",
+    "Fig1Setup",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7aResult",
+    "Fig7bResult",
+    "Fig8Result",
+    "Fig9Result",
+    "make_tuned_tpch",
+    "run_competitive",
+    "run_fig1",
+    "run_fig10",
+    "run_fig11",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8",
+    "run_fig9",
+]

@@ -1,0 +1,107 @@
+"""Shared setup for the Section VI experiments.
+
+Scale note: the paper's micro-benchmark table has 400M tuples (3M pages);
+experiments here default to 240K tuples (2,000 pages) — every geometric
+ratio (120 tuples/page, B+-tree fanout, random:sequential cost) is
+preserved, and sweeps are expressed in selectivity, which is
+scale-invariant.  Tests run the same experiments at further-reduced scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EngineConfig
+from repro.core.policy import (
+    ElasticPolicy,
+    GreedyPolicy,
+    MorphPolicy,
+    SelectivityIncreasePolicy,
+)
+from repro.core.smooth_scan import SmoothScan
+from repro.core.switch_scan import SwitchScan
+from repro.core.trigger import Trigger
+from repro.database import Database
+from repro.exec.iterator import Operator
+from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.sort import Sort
+from repro.storage.disk import DiskProfile
+from repro.storage.table import Table
+from repro.workloads.micro import (
+    build_micro_table,
+    selectivity_predicate,
+    selectivity_range,
+)
+
+#: Default experiment scale: 240K tuples = 2,000 heap pages.
+DEFAULT_MICRO_TUPLES = 240_000
+
+#: The paper's coarse sweep grid, in percent (Figures 5, 6, 10).
+COARSE_GRID_PCT = (0.0, 0.001, 0.01, 0.1, 1.0, 20.0, 50.0, 75.0, 100.0)
+
+#: The finer grid of Figures 6/7 including the 5% point.
+FINE_GRID_PCT = (0.0, 0.001, 0.01, 0.1, 1.0, 5.0, 20.0, 50.0, 75.0, 100.0)
+
+
+@dataclass
+class MicroSetup:
+    """A loaded micro-benchmark database."""
+
+    db: Database
+    table: Table
+
+
+def make_micro_db(num_tuples: int = DEFAULT_MICRO_TUPLES,
+                  profile: DiskProfile | None = None,
+                  seed: int = 42,
+                  config: EngineConfig | None = None) -> MicroSetup:
+    """Build the micro-benchmark database on the requested device."""
+    db = Database(config=config, profile=profile or DiskProfile.hdd())
+    table = build_micro_table(db, num_tuples, seed=seed)
+    return MicroSetup(db=db, table=table)
+
+
+def access_path_plan(kind: str, table: Table, selectivity: float,
+                     order_by: bool = False,
+                     policy: MorphPolicy | None = None,
+                     trigger: Trigger | None = None,
+                     max_mode: int = 2,
+                     switch_threshold: int = 0) -> Operator:
+    """Build one access-path plan for the micro query at ``selectivity``.
+
+    ``kind`` is one of ``full``, ``index``, ``sort``, ``smooth``,
+    ``switch``.  With ``order_by`` the plan must produce rows in ``c2``
+    order: the index and Smooth Scan already do; Full Scan and Sort Scan
+    get a posterior sort.
+    """
+    key_range = selectivity_range(selectivity)
+    predicate = selectivity_predicate(selectivity)
+    if kind == "full":
+        op: Operator = FullTableScan(table, predicate)
+        return Sort(op, ["c2"]) if order_by else op
+    if kind == "index":
+        return IndexScan(table, "c2", key_range)
+    if kind == "sort":
+        op = SortScan(table, "c2", key_range)
+        return Sort(op, ["c2"]) if order_by else op
+    if kind == "smooth":
+        return SmoothScan(
+            table, "c2", key_range,
+            policy=policy or ElasticPolicy(),
+            trigger=trigger,
+            ordered=order_by,
+            max_mode=max_mode,
+        )
+    if kind == "switch":
+        return SwitchScan(table, "c2", key_range,
+                          threshold=switch_threshold)
+    raise ValueError(f"unknown access path kind {kind!r}")
+
+
+def policy_for(name: str) -> MorphPolicy:
+    """Experiment-facing policy lookup (greedy / si / elastic)."""
+    return {
+        "greedy": GreedyPolicy,
+        "si": SelectivityIncreasePolicy,
+        "elastic": ElasticPolicy,
+    }[name]()

@@ -1,0 +1,167 @@
+"""Section V-A: empirical competitive-ratio measurement.
+
+Two measurements complement the analytic bounds in
+:mod:`repro.costmodel.competitive`:
+
+* **Adversarial layout** — a table where exactly every second heap page
+  contains one match: Elastic never benefits from flattening, giving its
+  worst case (paper: CR ≈ 5.5 on HDD vs a full scan, bound 11).
+* **Selectivity sweep** — the micro-benchmark CR over the whole interval;
+  the paper observes an empirical CR of ≈ 2 (at very low selectivity,
+  where Smooth Scan pays modest morphing overhead over a perfect index
+  scan).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.core.smooth_scan import SmoothScan
+from repro.database import Database
+from repro.exec.expressions import Comparison, CompareOp, KeyRange
+from repro.exec.scans import FullTableScan, IndexScan
+from repro.experiments.common import (
+    DEFAULT_MICRO_TUPLES,
+    MicroSetup,
+    access_path_plan,
+    make_micro_db,
+)
+from repro.storage.disk import DiskProfile
+from repro.storage.types import Schema
+from repro.workloads.micro import MICRO_COLUMNS, VALUE_DOMAIN
+
+
+@dataclass
+class CompetitiveResult:
+    """Adversarial and sweep-based competitive ratios.
+
+    ``adversarial_cr`` uses the default (``>=``) Elastic policy, which
+    still flattens over the adversarial layout and lands near the paper's
+    *empirical* CR of ≈ 2; ``adversarial_cr_strict`` uses the literal
+    strictly-greater-than policy that never morphs there, reproducing the
+    analysis's ≈ 5.5 (HDD).
+    """
+
+    profile: str
+    adversarial_cr: float = 0.0
+    adversarial_cr_strict: float = 0.0
+    adversarial_smooth_s: float = 0.0
+    adversarial_best_s: float = 0.0
+    sweep_points: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def sweep_max_cr(self) -> float:
+        """Worst CR over the selectivity sweep."""
+        return max((cr for _sel, cr in self.sweep_points), default=0.0)
+
+    def report(self) -> str:
+        rows = [[sel, cr] for sel, cr in self.sweep_points]
+        table = format_table(["sel_%", "smooth/optimal"], rows,
+                             title=f"Competitive ratio sweep ({self.profile})")
+        return (
+            f"{table}\n"
+            f"sweep max CR: {self.sweep_max_cr:.2f}\n"
+            f"adversarial (every-2nd-page) CR: {self.adversarial_cr:.2f} "
+            f"(default elastic; paper's empirical CR ≈ 2)\n"
+            f"adversarial CR, strict elastic: "
+            f"{self.adversarial_cr_strict:.2f} "
+            f"(paper's analysis: ≈ 5.5 on HDD, bound 11)"
+        )
+
+
+def build_adversarial_table(db: Database, num_pages: int,
+                            name: str = "adversarial",
+                            seed: int = 99):
+    """A table where every second page holds exactly one ``c2 = 0`` match.
+
+    All other tuples carry values from ``[1, DOMAIN)``; the match sits at
+    a random slot of each even page, so probes always hit a "dense" page
+    while every expansion looks sparse — Elastic's adversarial case.
+    """
+    rng = random.Random(seed)
+    schema = Schema.of_ints(MICRO_COLUMNS)
+    tuple_size = schema.tuple_size(db.config.tuple_header)
+    per_page = db.config.tuples_per_page(tuple_size)
+
+    def rows():
+        i = 0
+        for page in range(num_pages):
+            match_slot = rng.randrange(per_page) if page % 2 == 0 else -1
+            for slot in range(per_page):
+                c2 = 0 if slot == match_slot else rng.randrange(1, VALUE_DOMAIN)
+                yield (i, c2) + tuple(
+                    rng.randrange(VALUE_DOMAIN)
+                    for _ in range(len(MICRO_COLUMNS) - 2)
+                )
+                i += 1
+
+    table = db.load_table(name, schema, rows())
+    db.create_index(name, "c2")
+    return table
+
+
+def run_competitive(num_tuples: int = DEFAULT_MICRO_TUPLES,
+                    adversarial_pages: int = 1000,
+                    profile: DiskProfile | None = None,
+                    selectivities_pct: tuple = (0.001, 0.01, 0.1, 1.0,
+                                                10.0, 50.0, 100.0),
+                    setup: MicroSetup | None = None) -> CompetitiveResult:
+    """Measure the empirical CRs on the requested device profile."""
+    profile = profile or DiskProfile.hdd()
+    result = CompetitiveResult(profile=profile.name)
+
+    # -- adversarial layout -------------------------------------------------
+    from repro.core.policy import ElasticPolicy
+
+    adv_db = Database(profile=profile)
+    adv_table = build_adversarial_table(adv_db, adversarial_pages)
+    key_range = KeyRange.equal(0)
+    predicate = Comparison("c2", CompareOp.EQ, 0)
+    smooth = run_cold(adv_db, "smooth",
+                      SmoothScan(adv_table, "c2", key_range))
+    full = run_cold(adv_db, "full", FullTableScan(adv_table, predicate))
+    index = run_cold(adv_db, "index",
+                     IndexScan(adv_table, "c2", key_range))
+    best = min(full.seconds, index.seconds)
+    result.adversarial_smooth_s = smooth.seconds
+    result.adversarial_best_s = best
+    result.adversarial_cr = smooth.seconds / best if best > 0 else 1.0
+
+    # The paper's analysis number (≈5.5 on HDD) assumes every skip pays a
+    # full random access; our disk models prefetchers, which absorb the
+    # every-second-page skips.  Re-measure with prefetching disabled and
+    # the literal strictly-greater policy (which never morphs here).
+    saved_window = adv_db.disk.seq_window
+    adv_db.disk.seq_window = 1
+    strict = run_cold(
+        adv_db, "smooth-strict",
+        SmoothScan(adv_table, "c2", key_range,
+                   policy=ElasticPolicy(strict=True)),
+    )
+    full_np = run_cold(adv_db, "full-noprefetch",
+                       FullTableScan(adv_table, predicate))
+    adv_db.disk.seq_window = saved_window
+    result.adversarial_cr_strict = (
+        strict.seconds / full_np.seconds if full_np.seconds > 0 else 1.0
+    )
+
+    # -- selectivity sweep ----------------------------------------------------
+    setup = setup or make_micro_db(num_tuples, profile=profile)
+    for sel_pct in selectivities_pct:
+        sel = sel_pct / 100.0
+        smooth_m = run_cold(
+            setup.db, "smooth",
+            access_path_plan("smooth", setup.table, sel),
+        )
+        best_s = min(
+            run_cold(setup.db, "full",
+                     access_path_plan("full", setup.table, sel)).seconds,
+            run_cold(setup.db, "index",
+                     access_path_plan("index", setup.table, sel)).seconds,
+        )
+        cr = smooth_m.seconds / best_s if best_s > 0 else 1.0
+        result.sweep_points.append((sel_pct, cr))
+    return result

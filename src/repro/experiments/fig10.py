@@ -1,0 +1,28 @@
+"""Figure 10: Smooth Scan on SSD.
+
+The Figure-5b sweep re-run with the SSD cost profile (2:1 random vs
+sequential instead of 10:1).  Expected shape: Index Scan stays viable up
+to ~0.1% (vs 0.01% on HDD) but still loses badly at the high end (~30× at
+100%); Smooth Scan beats Sort Scan above ~0.1% and ends within ~10% of
+Full Scan at 100% — the narrower random/sequential gap favours Smooth
+Scan's occasional jumps over Sort Scan's pre-sort.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import COARSE_GRID_PCT, DEFAULT_MICRO_TUPLES
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.storage.disk import DiskProfile
+
+
+def run_fig10(num_tuples: int = DEFAULT_MICRO_TUPLES,
+              selectivities_pct: tuple = COARSE_GRID_PCT,
+              order_by: bool = False) -> Fig5Result:
+    """The Figure-5 sweep on the SSD profile."""
+    result = run_fig5(
+        order_by=order_by,
+        num_tuples=num_tuples,
+        selectivities_pct=selectivities_pct,
+        profile=DiskProfile.ssd(),
+    )
+    return result

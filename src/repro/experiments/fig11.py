@@ -1,0 +1,77 @@
+"""Figure 11: the Switch Scan performance cliff.
+
+Switch Scan runs a classical index scan until the optimizer's estimate is
+violated, then restarts as a full scan.  Right at the threshold the
+execution time jumps by a full scan's worth — the performance cliff —
+after which Switch Scan tracks Full Scan.  Smooth Scan is plotted next to
+it to show the same worst-case bound without the cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.common import (
+    DEFAULT_MICRO_TUPLES,
+    MicroSetup,
+    access_path_plan,
+    make_micro_db,
+)
+
+#: Log-spaced grid bracketing the cliff (percent).
+CLIFF_GRID_PCT = (0.001, 0.004, 0.008, 0.009, 0.01, 0.02, 0.1,
+                  1.0, 10.0, 100.0)
+
+#: The paper's threshold: the optimizer estimated 32K of 400M tuples.
+THRESHOLD_FRACTION = 32_000 / 400_000_000
+
+SERIES = ("full", "switch", "smooth")
+
+
+@dataclass
+class Fig11Result:
+    """Execution time (s) per series, plus whether Switch Scan switched."""
+
+    selectivities_pct: list[float]
+    threshold_tuples: int
+    seconds: dict[str, list[float]] = field(default_factory=dict)
+    switched: list[bool] = field(default_factory=list)
+
+    def report(self) -> str:
+        headers = ["sel_%", *SERIES, "switched"]
+        rows = [
+            [sel] + [self.seconds[s][i] for s in SERIES]
+            + [self.switched[i]]
+            for i, sel in enumerate(self.selectivities_pct)
+        ]
+        return format_table(
+            headers, rows,
+            title=(f"Figure 11 — Switch Scan cliff "
+                   f"(threshold = {self.threshold_tuples} tuples)"),
+        )
+
+
+def run_fig11(num_tuples: int = DEFAULT_MICRO_TUPLES,
+              selectivities_pct: tuple = CLIFF_GRID_PCT,
+              threshold_fraction: float = THRESHOLD_FRACTION,
+              setup: MicroSetup | None = None) -> Fig11Result:
+    """Run Full / Switch / Smooth around the switching threshold."""
+    setup = setup or make_micro_db(num_tuples)
+    threshold = max(1, round(threshold_fraction * setup.table.row_count))
+    result = Fig11Result(
+        selectivities_pct=list(selectivities_pct),
+        threshold_tuples=threshold,
+        seconds={s: [] for s in SERIES},
+    )
+    for sel_pct in selectivities_pct:
+        sel = sel_pct / 100.0
+        for label in SERIES:
+            plan = access_path_plan(label, setup.table, sel,
+                                    switch_threshold=threshold)
+            m = run_cold(setup.db, label, plan)
+            result.seconds[label].append(m.seconds)
+            if label == "switch":
+                result.switched.append(plan.switched)  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,108 @@
+"""Figure 4 + Table II: improving TPC-H with Smooth Scan in PostgreSQL.
+
+Runs the five "choke point" queries (Q1 98%, Q4 65%, Q6 2%, Q7 30%,
+Q14 1%) on the tuned TPC-H database twice: once with the cost-based
+planner ("pSQL") and once with every access path replaced by Smooth Scan
+("pSQL w. Smooth Scan", same upper plan layers).  Reports Figure 4's
+CPU-vs-I/O-wait breakdown and Table II's I/O request counts and
+transferred volume.
+
+Expected shape: large wins where pSQL's estimates picked a bad index path
+(Q6, Q7, Q14 in the paper), marginal overhead where pSQL was already
+optimal (Q1 +14%, Q4 <1%); Smooth Scan may transfer *more* bytes yet
+issue far fewer I/O requests (locality), which is Table II's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.fig1 import Fig1Setup, make_tuned_tpch
+from repro.workloads.tpch.queries import FIGURE4_QUERIES, TpchPlanBuilder
+
+MODES = ("pSQL", "pSQL+SmoothScan")
+
+
+@dataclass
+class QueryBreakdown:
+    """One bar of Figure 4 + one column pair of Table II."""
+
+    total_s: float
+    cpu_s: float
+    io_wait_s: float
+    io_requests: int
+    read_gb: float
+    rows: int
+
+
+@dataclass
+class Fig4Result:
+    """Per-query, per-mode execution breakdowns."""
+
+    queries: list[str]
+    selectivity_labels: dict[str, str]
+    data: dict[tuple[str, str], QueryBreakdown] = field(default_factory=dict)
+
+    def report_fig4(self) -> str:
+        rows = []
+        for name in self.queries:
+            for mode in MODES:
+                d = self.data[(name, mode)]
+                rows.append([
+                    f"{name} ({self.selectivity_labels[name]})", mode,
+                    d.total_s, d.cpu_s, d.io_wait_s,
+                ])
+        return format_table(
+            ["query", "mode", "time_s", "cpu_s", "io_wait_s"], rows,
+            title="Figure 4 — TPC-H with Smooth Scan (execution breakdown)",
+        )
+
+    def report_table2(self) -> str:
+        rows = []
+        for name in self.queries:
+            psql = self.data[(name, MODES[0])]
+            smooth = self.data[(name, MODES[1])]
+            rows.append([
+                name,
+                round(psql.io_requests / 1000.0, 1),
+                round(smooth.io_requests / 1000.0, 1),
+                round(psql.read_gb, 3),
+                round(smooth.read_gb, 3),
+            ])
+        return format_table(
+            ["query", "pSQL_ioreq_K", "SS_ioreq_K",
+             "pSQL_read_GB", "SS_read_GB"],
+            rows,
+            title="Table II — I/O analysis",
+        )
+
+    def report(self) -> str:
+        return self.report_fig4() + "\n\n" + self.report_table2()
+
+
+def run_fig4(scale_factor: float = 0.01,
+             setup: Fig1Setup | None = None) -> Fig4Result:
+    """Run the five queries under both modes on a tuned database."""
+    setup = setup or make_tuned_tpch(scale_factor)
+    result = Fig4Result(
+        queries=list(FIGURE4_QUERIES),
+        selectivity_labels={
+            name: label for name, (_fn, label) in FIGURE4_QUERIES.items()
+        },
+    )
+    for mode, builder_mode in zip(MODES, ("tuned", "smooth")):
+        builder = TpchPlanBuilder(setup.db, setup.catalog, builder_mode)
+        for name, (query_fn, _label) in FIGURE4_QUERIES.items():
+            plan = query_fn(builder)
+            m = run_cold(setup.db, f"{mode}:{name}", plan)
+            result.data[(name, mode)] = QueryBreakdown(
+                total_s=m.seconds,
+                cpu_s=m.result.cpu_ms / 1000.0,
+                io_wait_s=m.result.io_ms / 1000.0,
+                io_requests=m.result.disk.requests,
+                read_gb=m.result.read_gb,
+                rows=m.result.row_count,
+            )
+    return result

@@ -1,0 +1,75 @@
+"""Figure 5: Smooth Scan vs. alternatives, with and without ORDER BY.
+
+Sweeps the micro-benchmark query over the full selectivity interval and
+measures all four access paths.  Expected shape (paper, HDD):
+
+* Index Scan degrades fast — ~10× Full Scan already at 0.1%, >100× at 100%.
+* Sort Scan is best below ~1%, loses its edge above ~2.5% (sort overhead).
+* Smooth Scan tracks the best alternative everywhere: index-like at the
+  low end, within ~20% of Full Scan at 100% (without ORDER BY), and the
+  outright winner above ~2.5% when an interesting order is required
+  (everyone else pays a posterior sort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.common import (
+    COARSE_GRID_PCT,
+    DEFAULT_MICRO_TUPLES,
+    MicroSetup,
+    access_path_plan,
+    make_micro_db,
+)
+from repro.storage.disk import DiskProfile
+
+PATHS = ("full", "index", "sort", "smooth")
+
+
+@dataclass
+class Fig5Result:
+    """Execution time (s) per access path per selectivity point."""
+
+    order_by: bool
+    profile: str
+    selectivities_pct: list[float]
+    seconds: dict[str, list[float]] = field(default_factory=dict)
+    rows: dict[str, list[int]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        headers = ["sel_%"] + [p for p in PATHS]
+        table = []
+        for i, sel in enumerate(self.selectivities_pct):
+            table.append([sel] + [self.seconds[p][i] for p in PATHS])
+        title = (
+            f"Figure 5{'a (with ORDER BY)' if self.order_by else 'b (no ORDER BY)'}"
+            f" — execution time (s), {self.profile}"
+        )
+        return format_table(headers, table, title=title)
+
+
+def run_fig5(order_by: bool, num_tuples: int = DEFAULT_MICRO_TUPLES,
+             selectivities_pct: tuple = COARSE_GRID_PCT,
+             profile: DiskProfile | None = None,
+             setup: MicroSetup | None = None) -> Fig5Result:
+    """Run one Figure-5 sweep (5a with ORDER BY, 5b without)."""
+    setup = setup or make_micro_db(num_tuples, profile=profile)
+    result = Fig5Result(
+        order_by=order_by,
+        profile=setup.db.profile.name,
+        selectivities_pct=list(selectivities_pct),
+        seconds={p: [] for p in PATHS},
+        rows={p: [] for p in PATHS},
+    )
+    for sel_pct in selectivities_pct:
+        sel = sel_pct / 100.0
+        for path in PATHS:
+            plan = access_path_plan(path, setup.table, sel,
+                                    order_by=order_by)
+            m = run_cold(setup.db, path, plan)
+            result.seconds[path].append(m.seconds)
+            result.rows[path].append(m.result.row_count)
+    return result

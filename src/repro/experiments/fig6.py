@@ -1,0 +1,67 @@
+"""Figure 6: sensitivity of Smooth Scan's modes.
+
+Compares Full Scan, Index Scan, Smooth Scan capped at Mode 1 (Entire Page
+Probe only) and full Smooth Scan (Flattening Access).  Expected shape:
+Entire-Page-Probe alone already beats Index Scan by ~10× at 100% (no
+repeated pages) but stays ~14× above Full Scan (every fetch random);
+Flattening closes that to ~1.2× Full Scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.experiments.common import (
+    DEFAULT_MICRO_TUPLES,
+    FINE_GRID_PCT,
+    MicroSetup,
+    access_path_plan,
+    make_micro_db,
+)
+
+SERIES = ("full", "index", "smooth_mode1", "smooth_flattening")
+
+
+@dataclass
+class Fig6Result:
+    """Execution time (s) per series per selectivity point."""
+
+    selectivities_pct: list[float]
+    seconds: dict[str, list[float]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        headers = ["sel_%"] + list(SERIES)
+        rows = []
+        for i, sel in enumerate(self.selectivities_pct):
+            rows.append([sel] + [self.seconds[s][i] for s in SERIES])
+        return format_table(
+            headers, rows,
+            title="Figure 6 — Smooth Scan mode sensitivity, execution time (s)",
+        )
+
+
+def run_fig6(num_tuples: int = DEFAULT_MICRO_TUPLES,
+             selectivities_pct: tuple = FINE_GRID_PCT,
+             setup: MicroSetup | None = None) -> Fig6Result:
+    """Run the mode-sensitivity sweep."""
+    setup = setup or make_micro_db(num_tuples)
+    result = Fig6Result(
+        selectivities_pct=list(selectivities_pct),
+        seconds={s: [] for s in SERIES},
+    )
+    for sel_pct in selectivities_pct:
+        sel = sel_pct / 100.0
+        plans = {
+            "full": access_path_plan("full", setup.table, sel),
+            "index": access_path_plan("index", setup.table, sel),
+            "smooth_mode1": access_path_plan("smooth", setup.table, sel,
+                                             max_mode=1),
+            "smooth_flattening": access_path_plan("smooth", setup.table, sel,
+                                                  max_mode=2),
+        }
+        for label, plan in plans.items():
+            m = run_cold(setup.db, label, plan)
+            result.seconds[label].append(m.seconds)
+    return result

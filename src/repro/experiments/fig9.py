@@ -1,0 +1,75 @@
+"""Figure 9: the auxiliary data structures.
+
+9a — Result Cache overhead and hit rate on the ordered micro query: the
+overhead is the share of execution time spent on cache bookkeeping
+(probes + inserts + evictions), ≤ ~14% in the paper, while the hit rate
+(tuple requests served from the cache) reaches 100% by ~1% selectivity.
+
+9b — morphing accuracy: pages containing results over pages fetched by
+morphing, reaching 100% at ~2.5% selectivity (past that, every page holds
+a result, so no fetch is wasted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_cold
+from repro.core.smooth_scan import SmoothScan
+from repro.experiments.common import (
+    DEFAULT_MICRO_TUPLES,
+    MicroSetup,
+    make_micro_db,
+)
+from repro.workloads.micro import selectivity_range
+
+GRID_PCT = (0.001, 0.1, 1.0, 2.5, 20.0, 50.0, 75.0, 100.0)
+
+
+@dataclass
+class Fig9Result:
+    """Cache overhead / hit rate (9a) and morphing accuracy (9b)."""
+
+    selectivities_pct: list[float]
+    cache_overhead_pct: list[float] = field(default_factory=list)
+    cache_hit_rate_pct: list[float] = field(default_factory=list)
+    morphing_accuracy_pct: list[float] = field(default_factory=list)
+    peak_cache_entries: list[int] = field(default_factory=list)
+
+    def report(self) -> str:
+        rows = [
+            [sel, self.cache_overhead_pct[i], self.cache_hit_rate_pct[i],
+             self.morphing_accuracy_pct[i], self.peak_cache_entries[i]]
+            for i, sel in enumerate(self.selectivities_pct)
+        ]
+        return format_table(
+            ["sel_%", "cache_overhead_%", "cache_hit_rate_%",
+             "morphing_accuracy_%", "peak_cache_entries"],
+            rows,
+            title="Figure 9 — auxiliary structures (ordered Smooth Scan)",
+        )
+
+
+def run_fig9(num_tuples: int = DEFAULT_MICRO_TUPLES,
+             selectivities_pct: tuple = GRID_PCT,
+             setup: MicroSetup | None = None) -> Fig9Result:
+    """Run the ordered Smooth Scan and collect its cache statistics."""
+    setup = setup or make_micro_db(num_tuples)
+    cpu = setup.db.config.cpu
+    result = Fig9Result(selectivities_pct=list(selectivities_pct))
+    for sel_pct in selectivities_pct:
+        scan = SmoothScan(setup.table, "c2",
+                          selectivity_range(sel_pct / 100.0), ordered=True)
+        m = run_cold(setup.db, "smooth", scan)
+        stats = scan.last_stats
+        assert stats is not None and stats.result_cache is not None
+        cache = stats.result_cache
+        cache_ms = (cache.inserts * cpu.cache_insert
+                    + cache.probes * cpu.cache_probe)
+        overhead = 100.0 * cache_ms / max(1e-12, m.result.total_ms)
+        result.cache_overhead_pct.append(overhead)
+        result.cache_hit_rate_pct.append(100.0 * cache.hit_rate)
+        result.morphing_accuracy_pct.append(100.0 * stats.morphing_accuracy)
+        result.peak_cache_entries.append(cache.peak_entries)
+    return result

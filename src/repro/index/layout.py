@@ -1,0 +1,84 @@
+"""B+-tree and heap layout math — Eqs. (3)–(9) of the paper.
+
+These pure functions are shared by the physical B+-tree implementation and
+the analytic cost model, so the two can never drift apart.  All equations
+assume 100%-full pages, equal heap and index page sizes, and a 20% per-key
+pointer overhead in internal nodes, exactly as Section V does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BTreeError
+
+
+def tuples_per_page(page_size: int, page_header: int, tuple_size: int) -> int:
+    """Eq. (3): ``#TP = floor(PS / TS)`` with the page header excluded."""
+    if tuple_size <= 0:
+        raise BTreeError("tuple_size must be positive")
+    usable = page_size - page_header
+    if usable < tuple_size:
+        raise BTreeError("tuple does not fit in page body")
+    return usable // tuple_size
+
+
+def num_pages(num_tuples: int, tuples_per_page_: int) -> int:
+    """Eq. (4): ``#P = ceil(#T / #TP)``."""
+    if tuples_per_page_ <= 0:
+        raise BTreeError("tuples_per_page must be positive")
+    return math.ceil(num_tuples / tuples_per_page_)
+
+
+def fanout(page_size: int, key_size: int) -> int:
+    """Eq. (5): ``fanout = floor(PS / (1.2 * KS))``.
+
+    The 1.2 factor reserves 20% of each key's space for the child pointer.
+    """
+    if key_size <= 0:
+        raise BTreeError("key_size must be positive")
+    f = math.floor(page_size / (1.2 * key_size))
+    if f < 2:
+        raise BTreeError(f"fanout {f} < 2; key too large for page")
+    return f
+
+
+def num_leaves(num_tuples: int, fanout_: int) -> int:
+    """Eq. (6): ``#leaves = ceil(#T / fanout)``."""
+    if fanout_ < 2:
+        raise BTreeError("fanout must be >= 2")
+    return math.ceil(num_tuples / fanout_)
+
+
+def height(num_leaves_: int, fanout_: int) -> int:
+    """Eq. (7): ``height = ceil(log_fanout(#leaves)) + 1``.
+
+    An empty or single-leaf tree has height 1 (the root is the leaf).
+    """
+    if num_leaves_ <= 1:
+        return 1
+    return math.ceil(math.log(num_leaves_, fanout_)) + 1
+
+
+def result_cardinality(selectivity: float, num_tuples: int) -> int:
+    """Eq. (8): ``card = sel × #T`` (rounded to the nearest tuple)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise BTreeError(f"selectivity {selectivity} outside [0, 1]")
+    return round(selectivity * num_tuples)
+
+
+def leaves_with_results(card: int, fanout_: int) -> int:
+    """Eq. (9): ``#leaves_res = ceil(card / fanout)``."""
+    if fanout_ < 2:
+        raise BTreeError("fanout must be >= 2")
+    return math.ceil(card / fanout_)
+
+
+def level_sizes(num_leaves_: int, fanout_: int) -> list[int]:
+    """Node counts per level, leaves first, root (size 1) last."""
+    if num_leaves_ <= 0:
+        return [1]
+    sizes = [num_leaves_]
+    while sizes[-1] > 1:
+        sizes.append(math.ceil(sizes[-1] / fanout_))
+    return sizes

@@ -1,0 +1,39 @@
+"""Cost-based optimizer: statistics, estimation, costing, planning, advice."""
+
+from repro.optimizer.advisor import IndexAdvisor, Recommendation, WorkloadQuery
+from repro.optimizer.cardinality import (
+    estimate_cardinality,
+    estimate_selectivity,
+)
+from repro.optimizer.costing import (
+    AccessPathCost,
+    candidate_paths,
+    cheapest_path,
+    index_size_bytes,
+)
+from repro.optimizer.planner import PlanDecision, Planner, PlannerOptions
+from repro.optimizer.statistics import (
+    ColumnStats,
+    Histogram,
+    StatisticsCatalog,
+    TableStats,
+)
+
+__all__ = [
+    "AccessPathCost",
+    "ColumnStats",
+    "Histogram",
+    "IndexAdvisor",
+    "PlanDecision",
+    "Planner",
+    "PlannerOptions",
+    "Recommendation",
+    "StatisticsCatalog",
+    "TableStats",
+    "WorkloadQuery",
+    "candidate_paths",
+    "cheapest_path",
+    "estimate_cardinality",
+    "estimate_selectivity",
+    "index_size_bytes",
+]

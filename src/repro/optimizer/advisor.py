@@ -1,0 +1,118 @@
+"""The index advisor — a miniature of DBMS-X's "official tuning tool".
+
+Figure 1's disasters happen *after* tuning: an advisor proposes indexes
+whose estimated benefit is computed from the same flawed statistics the
+optimizer uses, and the optimizer then happily routes huge scans through
+them.  This advisor reproduces that pipeline: per-query benefit = estimated
+full-scan cost minus estimated best-index-path cost, greedy knapsack under
+a space budget (the paper gives DBMS-X's tool 5GB ≈ half the data set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.exec.expressions import Predicate, extract_range
+from repro.optimizer import cardinality as card_est
+from repro.optimizer import costing
+from repro.optimizer.statistics import StatisticsCatalog
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload entry the advisor optimizes for."""
+
+    table: str
+    predicate: Predicate
+    order_by: str | None = None
+    weight: float = 1.0
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output."""
+
+    indexes: list[tuple[str, str]] = field(default_factory=list)
+    total_bytes: int = 0
+    benefits: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+class IndexAdvisor:
+    """Greedy benefit-per-byte index selection under a space budget."""
+
+    def __init__(self, db: Database, catalog: StatisticsCatalog):
+        self.db = db
+        self.catalog = catalog
+
+    def candidate_columns(self,
+                          workload: list[WorkloadQuery]
+                          ) -> set[tuple[str, str]]:
+        """All (table, column) pairs some query could use an index on."""
+        candidates: set[tuple[str, str]] = set()
+        for query in workload:
+            table = self.db.table(query.table)
+            for column in table.schema.column_names:
+                rng, _residual = extract_range(query.predicate, column)
+                if rng is not None:
+                    candidates.add((query.table, column))
+            if query.order_by is not None:
+                candidates.add((query.table, query.order_by))
+        return candidates
+
+    def estimated_benefit(self, workload: list[WorkloadQuery],
+                          table_name: str, column: str) -> float:
+        """Σ weight × (full-scan cost − best index-path cost), clamped ≥ 0."""
+        table = self.db.table(table_name)
+        benefit = 0.0
+        for query in workload:
+            if query.table != table_name:
+                continue
+            rng, _residual = extract_range(query.predicate, column)
+            if rng is None and query.order_by != column:
+                continue
+            sel = card_est.estimate_selectivity(
+                self.catalog, table_name, query.predicate
+            )
+            paths = costing.candidate_paths(
+                table, self.db.config, self.db.profile, column, sel,
+                require_order=query.order_by is not None,
+                assume_index=True,
+            )
+            by_name = {p.path: p.cost for p in paths}
+            with_index = min(
+                v for k, v in by_name.items() if k in ("index", "sort")
+            )
+            benefit += query.weight * max(0.0, by_name["full"] - with_index)
+        return benefit
+
+    def recommend(self, workload: list[WorkloadQuery],
+                  space_budget_bytes: int) -> Recommendation:
+        """Greedy knapsack over candidates by benefit per byte."""
+        rec = Recommendation()
+        scored: list[tuple[float, int, tuple[str, str]]] = []
+        for table_name, column in self.candidate_columns(workload):
+            table = self.db.table(table_name)
+            if table.has_index(column):
+                continue  # already present
+            size = costing.index_size_bytes(table, self.db.config, column)
+            benefit = self.estimated_benefit(workload, table_name, column)
+            if benefit > 0:
+                scored.append((benefit / max(1, size), size,
+                               (table_name, column)))
+                rec.benefits[(table_name, column)] = benefit
+        scored.sort(reverse=True)
+        used = 0
+        for _score, size, key in scored:
+            if used + size > space_budget_bytes:
+                continue
+            rec.indexes.append(key)
+            used += size
+        rec.total_bytes = used
+        return rec
+
+    def apply(self, rec: Recommendation) -> None:
+        """Create every recommended index."""
+        for table_name, column in rec.indexes:
+            if not self.db.table(table_name).has_index(column):
+                self.db.create_index(table_name, column)

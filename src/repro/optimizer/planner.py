@@ -1,0 +1,211 @@
+"""Access-path selection — the decision Smooth Scan makes obsolete.
+
+Given a predicate and (possibly stale) statistics, the planner estimates a
+selectivity, costs every viable access path with the Section V formulas,
+and picks the cheapest — a faithful miniature of the tipping-point
+decision described in the paper's introduction.  When ``enable_smooth`` is
+set the planner simply always chooses Smooth Scan ("the optimizer can
+always choose a Smooth Scan", §IV-B), which is how the PostgreSQL-with-
+Smooth-Scan configurations of Figures 4–10 are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import ElasticPolicy, MorphPolicy
+from repro.core.smooth_scan import SmoothScan
+from repro.core.trigger import EagerTrigger, Trigger
+from repro.database import Database
+from repro.errors import PlanningError
+from repro.exec.expressions import (
+    KeyRange,
+    Predicate,
+    TruePredicate,
+    extract_range,
+)
+from repro.exec.iterator import Operator
+from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.sort import Sort
+from repro.optimizer import cardinality as card_est
+from repro.optimizer import costing
+from repro.optimizer.statistics import StatisticsCatalog
+from repro.storage.table import Table
+
+
+@dataclass
+class PlannerOptions:
+    """Knobs controlling which paths the planner may pick."""
+
+    enable_index: bool = True
+    enable_sort_scan: bool = True
+    enable_smooth: bool = False
+    #: Factory hooks so experiments can plan with specific variants.
+    smooth_policy: MorphPolicy | None = None
+    smooth_trigger: Trigger | None = None
+
+
+@dataclass
+class PlanDecision:
+    """What the planner decided and why (for experiment reporting)."""
+
+    path: str
+    column: str | None
+    estimated_selectivity: float
+    estimated_cardinality: int
+    estimated_cost: float
+    alternatives: dict[str, float] = field(default_factory=dict)
+
+
+class Planner:
+    """Cost-based access-path selection over one database."""
+
+    def __init__(self, db: Database, catalog: StatisticsCatalog,
+                 options: PlannerOptions | None = None):
+        self.db = db
+        self.catalog = catalog
+        self.options = options or PlannerOptions()
+
+    # -- public API ----------------------------------------------------------
+
+    def plan_scan(self, table_name: str, predicate: Predicate | None = None,
+                  order_by: str | None = None
+                  ) -> tuple[Operator, PlanDecision]:
+        """Build the chosen access path for one table scan.
+
+        Returns the operator tree (with any posterior sort already placed)
+        and the decision record.
+        """
+        table = self.db.table(table_name)
+        predicate = predicate or TruePredicate()
+        column, key_range, residual = self._best_index_opportunity(
+            table, predicate, order_by
+        )
+        selectivity = card_est.estimate_selectivity(
+            self.catalog, table_name, predicate
+        )
+        est_card = card_est.estimate_cardinality(
+            self.catalog, table_name, predicate,
+            fallback_rows=table.row_count,
+        )
+
+        if self.options.enable_smooth and column is not None:
+            return self._smooth_plan(
+                table, column, key_range, residual, order_by,
+                selectivity, est_card,
+            )
+
+        paths = costing.candidate_paths(
+            table, self.db.config, self.db.profile,
+            column, selectivity,
+            require_order=order_by is not None,
+            enable_smooth=False,
+        )
+        paths = [
+            p for p in paths
+            if (p.path != "index" or self.options.enable_index)
+            and (p.path != "sort" or self.options.enable_sort_scan)
+        ]
+        choice = costing.cheapest_path(paths)
+        op = self._build_path(
+            choice.path, table, column, key_range, residual,
+            predicate, order_by,
+        )
+        decision = PlanDecision(
+            path=choice.path,
+            column=column,
+            estimated_selectivity=selectivity,
+            estimated_cardinality=est_card,
+            estimated_cost=choice.cost,
+            alternatives={p.path: p.cost for p in paths},
+        )
+        return op, decision
+
+    # -- helpers -------------------------------------------------------------
+
+    def _best_index_opportunity(self, table: Table, predicate: Predicate,
+                                order_by: str | None
+                                ) -> tuple[str | None, KeyRange | None,
+                                           Predicate]:
+        """Pick the indexed column that serves the predicate best.
+
+        Preference order: the tightest estimated range; an index matching
+        the requested order when no range exists.
+        """
+        best: tuple[float, str, KeyRange, Predicate] | None = None
+        for column in table.indexes:
+            rng, residual = extract_range(predicate, column)
+            if rng is None:
+                continue
+            sel = card_est.estimate_selectivity(
+                self.catalog, table.name,
+                _range_predicate_for(column, rng),
+            )
+            if best is None or sel < best[0]:
+                best = (sel, column, rng, residual)
+        if best is not None:
+            return best[1], best[2], best[3]
+        if order_by is not None and table.has_index(order_by):
+            return order_by, KeyRange.all(), predicate
+        return None, None, predicate
+
+    def _smooth_plan(self, table: Table, column: str,
+                     key_range: KeyRange | None, residual: Predicate,
+                     order_by: str | None, selectivity: float,
+                     est_card: int) -> tuple[Operator, PlanDecision]:
+        ordered = order_by == column
+        op: Operator = SmoothScan(
+            table, column,
+            key_range=key_range,
+            residual=residual,
+            policy=self.options.smooth_policy or ElasticPolicy(),
+            trigger=self.options.smooth_trigger or EagerTrigger(),
+            ordered=ordered,
+        )
+        if order_by is not None and not ordered:
+            op = Sort(op, [order_by])
+        decision = PlanDecision(
+            path="smooth",
+            column=column,
+            estimated_selectivity=selectivity,
+            estimated_cardinality=est_card,
+            estimated_cost=float("nan"),  # smooth needs no estimate
+        )
+        return op, decision
+
+    def _build_path(self, path: str, table: Table, column: str | None,
+                    key_range: KeyRange | None, residual: Predicate,
+                    predicate: Predicate,
+                    order_by: str | None) -> Operator:
+        if path == "full" or column is None:
+            op: Operator = FullTableScan(table, predicate)
+            if order_by is not None:
+                op = Sort(op, [order_by])
+            return op
+        if path == "index":
+            op = IndexScan(table, column, key_range, residual)
+            if order_by is not None and order_by != column:
+                op = Sort(op, [order_by])
+            return op
+        if path == "sort":
+            op = SortScan(table, column, key_range, residual)
+            if order_by is not None:
+                op = Sort(op, [order_by])
+            return op
+        raise PlanningError(f"unknown access path {path!r}")
+
+
+def _range_predicate_for(column: str, rng: KeyRange) -> Predicate:
+    """Rebuild a Between predicate equivalent to an extracted range."""
+    from repro.exec.expressions import Between, Comparison, CompareOp
+
+    if rng.lo is not None and rng.hi is not None:
+        return Between(column, rng.lo, rng.hi,
+                       rng.lo_inclusive, rng.hi_inclusive)
+    if rng.lo is not None:
+        op = CompareOp.GE if rng.lo_inclusive else CompareOp.GT
+        return Comparison(column, op, rng.lo)
+    if rng.hi is not None:
+        op = CompareOp.LE if rng.hi_inclusive else CompareOp.LT
+        return Comparison(column, op, rng.hi)
+    return TruePredicate()

@@ -1,0 +1,25 @@
+"""Storage substrate: types, simulated disk, pages, heaps, buffer pool."""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskProfile, DiskStats, SimClock, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.page import HeapPage
+from repro.storage.table import Table
+from repro.storage.types import TID, Column, ColumnType, Row, Schema
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "Column",
+    "ColumnType",
+    "DiskProfile",
+    "DiskStats",
+    "HeapFile",
+    "HeapPage",
+    "Row",
+    "Schema",
+    "SimClock",
+    "SimulatedDisk",
+    "TID",
+    "Table",
+]

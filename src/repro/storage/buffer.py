@@ -1,0 +1,137 @@
+"""LRU buffer pool.
+
+All timed page access goes through here.  A hit charges a tiny CPU cost;
+a miss delegates to the :class:`~repro.storage.disk.SimulatedDisk`, which
+charges sequential or random I/O and counts requests.  ``reset()`` empties
+the pool, reproducing the paper's cold runs ("we clear database buffer
+caches as well as OS file system caches before each query execution").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import HeapPage
+
+
+class PagedFile(Protocol):
+    """Anything the buffer pool can cache pages of (heaps, index files)."""
+
+    file_id: int
+
+    @property
+    def num_pages(self) -> int: ...
+
+    def page(self, page_id: int) -> HeapPage: ...
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for one measured run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page requests served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.hits = 0
+        self.misses = 0
+
+
+class BufferPool:
+    """A page-granular LRU cache over the simulated disk."""
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int,
+                 hit_cpu_ms: float = 5.0e-5):
+        if capacity_pages < 1:
+            raise StorageError("buffer pool capacity must be >= 1 page")
+        self.disk = disk
+        self.capacity_pages = capacity_pages
+        self.hit_cpu_ms = hit_cpu_ms
+        self.stats = BufferStats()
+        self._pages: OrderedDict[tuple[int, int], object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def contains(self, file: PagedFile, page_id: int) -> bool:
+        """True if the page is resident (does not touch LRU order)."""
+        return (file.file_id, page_id) in self._pages
+
+    def get_page(self, file: PagedFile, page_id: int,
+                 stream_hint: bool = False) -> HeapPage:
+        """Return one page, charging a hit or a (random/seq) miss.
+
+        ``stream_hint`` marks reads that belong to a per-file sequential
+        stream (B+-tree leaf chains) so interleaved reads of other files do
+        not turn them into random accesses.
+        """
+        key = (file.file_id, page_id)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            self.disk.clock.charge_cpu(self.hit_cpu_ms)
+            return self._pages[key]  # type: ignore[return-value]
+        self.stats.misses += 1
+        self.disk.read_page(file.file_id, page_id, stream_hint=stream_hint)
+        page = file.page(page_id)
+        self._admit(key, page)
+        return page
+
+    def get_run(self, file: PagedFile, start_page: int,
+                n_pages: int) -> list[HeapPage]:
+        """Return ``n_pages`` contiguous pages, batching misses into runs.
+
+        Resident pages are served from memory; contiguous spans of missing
+        pages are fetched with :meth:`SimulatedDisk.read_run`, so a morphing
+        region of Smooth Scan costs one random jump plus sequential reads.
+        """
+        if n_pages <= 0:
+            return []
+        end = min(start_page + n_pages, file.num_pages)
+        pages: list[HeapPage] = []
+        run_start: int | None = None
+
+        def flush_run(upto: int) -> None:
+            nonlocal run_start
+            if run_start is not None:
+                self.disk.read_run(file.file_id, run_start, upto - run_start)
+                run_start = None
+
+        for pid in range(start_page, end):
+            key = (file.file_id, pid)
+            if key in self._pages:
+                flush_run(pid)
+                self._pages.move_to_end(key)
+                self.stats.hits += 1
+                self.disk.clock.charge_cpu(self.hit_cpu_ms)
+                pages.append(self._pages[key])  # type: ignore[arg-type]
+            else:
+                if run_start is None:
+                    run_start = pid
+                self.stats.misses += 1
+                page = file.page(pid)
+                self._admit(key, page)
+                pages.append(page)
+        flush_run(end)
+        return pages
+
+    def reset(self) -> None:
+        """Evict everything and zero stats (start of a cold run)."""
+        self._pages.clear()
+        self.stats.reset()
+
+    def _admit(self, key: tuple[int, int], page: object) -> None:
+        self._pages[key] = page
+        while len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)

@@ -1,0 +1,73 @@
+"""Heap files: page-ordered row storage.
+
+A :class:`HeapFile` is the physical body of a table — an append-only list
+of :class:`~repro.storage.page.HeapPage`.  It never charges I/O itself;
+all timed access flows through the :class:`~repro.storage.buffer.BufferPool`
+so that repeated-page effects (the index scan's downfall) are modeled
+faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError, UnknownPageError
+from repro.storage.page import HeapPage
+from repro.storage.types import Row, Schema, TID
+
+
+class HeapFile:
+    """Append-only paged storage for rows of one schema."""
+
+    def __init__(self, file_id: int, schema: Schema, tuples_per_page: int):
+        if tuples_per_page < 1:
+            raise StorageError("tuples_per_page must be >= 1")
+        self.file_id = file_id
+        self.schema = schema
+        self.tuples_per_page = tuples_per_page
+        self._pages: list[HeapPage] = []
+        self._row_count = 0
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages (``#P`` in the cost model)."""
+        return len(self._pages)
+
+    @property
+    def row_count(self) -> int:
+        """Number of stored rows (``#T`` in the cost model)."""
+        return self._row_count
+
+    def append(self, row: Row) -> TID:
+        """Store ``row`` at the end of the heap; returns its TID."""
+        self.schema.validate_row(row)
+        if not self._pages or self._pages[-1].is_full:
+            self._pages.append(
+                HeapPage(page_id=len(self._pages), capacity=self.tuples_per_page)
+            )
+        page = self._pages[-1]
+        slot = page.insert(row)
+        self._row_count += 1
+        return TID(page.page_id, slot)
+
+    def page(self, page_id: int) -> HeapPage:
+        """Return page ``page_id`` without charging I/O."""
+        if not 0 <= page_id < len(self._pages):
+            raise UnknownPageError(
+                f"page {page_id} outside heap of {len(self._pages)} pages"
+            )
+        return self._pages[page_id]
+
+    def fetch(self, tid: TID) -> Row:
+        """Return the row named by ``tid`` without charging I/O."""
+        return self.page(tid.page_id).get(tid.slot)
+
+    def iter_pages(self) -> Iterator[HeapPage]:
+        """Yield pages in physical order (full-scan order)."""
+        return iter(self._pages)
+
+    def iter_rows(self) -> Iterator[tuple[TID, Row]]:
+        """Yield ``(TID, row)`` in physical order, charging no I/O."""
+        for page in self._pages:
+            for slot, row in page.rows_with_slots():
+                yield TID(page.page_id, slot), row

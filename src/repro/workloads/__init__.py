@@ -1,0 +1,22 @@
+"""Workload generators: micro-benchmark, skew, and TPC-H-lite."""
+
+from repro.workloads.micro import (
+    MICRO_COLUMNS,
+    VALUE_DOMAIN,
+    build_micro_table,
+    micro_schema,
+    selectivity_predicate,
+    selectivity_range,
+)
+from repro.workloads.skew import build_skew_table, skew_query_range
+
+__all__ = [
+    "MICRO_COLUMNS",
+    "VALUE_DOMAIN",
+    "build_micro_table",
+    "build_skew_table",
+    "micro_schema",
+    "selectivity_predicate",
+    "selectivity_range",
+    "skew_query_range",
+]

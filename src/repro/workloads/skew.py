@@ -1,0 +1,62 @@
+"""The skewed table of Section VI-D ("Adjusting to Skew Distribution").
+
+The paper's layout, scaled: the first ``dense_fraction`` of tuples all
+carry ``c2 = 0`` (a dense head, physically clustered at the start of the
+heap); afterwards another ``sparse_fraction`` of random tuples also get 0.
+The query ``c2 = 0`` then selects slightly more than ``dense_fraction`` of
+the table, with matches concentrated at the front and a sparse random
+tail — the layout where Selectivity-Increase overshoots (it keeps the
+large morphing region forever) while Elastic shrinks back.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.database import Database
+from repro.errors import WorkloadError
+from repro.exec.expressions import KeyRange
+from repro.storage.table import Table
+from repro.storage.types import Schema
+from repro.workloads.micro import MICRO_COLUMNS, VALUE_DOMAIN
+
+#: The paper's proportions: 15M of 1.5B tuples dense (1%), 0.001% sparse.
+DENSE_FRACTION = 0.01
+SPARSE_FRACTION = 1e-5
+
+
+def build_skew_table(db: Database, num_tuples: int,
+                     dense_fraction: float = DENSE_FRACTION,
+                     sparse_fraction: float = SPARSE_FRACTION,
+                     name: str = "skewed", seed: int = 1337) -> Table:
+    """Create the skewed table with its secondary index on ``c2``."""
+    if num_tuples <= 0:
+        raise WorkloadError("num_tuples must be positive")
+    if not 0.0 <= dense_fraction <= 1.0:
+        raise WorkloadError("dense_fraction outside [0, 1]")
+    if not 0.0 <= sparse_fraction <= 1.0:
+        raise WorkloadError("sparse_fraction outside [0, 1]")
+    rng = random.Random(seed)
+    head = int(num_tuples * dense_fraction)
+
+    def rows():
+        for i in range(num_tuples):
+            if i < head:
+                c2 = 0
+            elif rng.random() < sparse_fraction:
+                c2 = 0
+            else:
+                c2 = rng.randrange(1, VALUE_DOMAIN)
+            yield (i, c2) + tuple(
+                rng.randrange(VALUE_DOMAIN)
+                for _ in range(len(MICRO_COLUMNS) - 2)
+            )
+
+    table = db.load_table(name, Schema.of_ints(MICRO_COLUMNS), rows())
+    db.create_index(name, "c2")
+    return table
+
+
+def skew_query_range() -> KeyRange:
+    """The experiment's query: all tuples with ``c2 = 0``."""
+    return KeyRange.equal(0)

@@ -1,0 +1,22 @@
+"""TPC-H-lite: schema, scaled generator, and the Figure-1 query set."""
+
+from repro.workloads.tpch.generator import TpchTables, generate_tpch, scaled_rows
+from repro.workloads.tpch.queries import (
+    FIGURE1_QUERIES,
+    FIGURE4_QUERIES,
+    TpchPlanBuilder,
+    build_query,
+)
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, date
+
+__all__ = [
+    "FIGURE1_QUERIES",
+    "FIGURE4_QUERIES",
+    "TPCH_SCHEMAS",
+    "TpchPlanBuilder",
+    "TpchTables",
+    "build_query",
+    "date",
+    "generate_tpch",
+    "scaled_rows",
+]

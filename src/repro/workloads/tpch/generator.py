@@ -1,0 +1,249 @@
+"""A scaled TPC-H data generator (dbgen substitute).
+
+Generates the eight tables at a configurable scale factor with the spec's
+value domains and — critically for this paper — its *correlations*:
+``l_shipdate = o_orderdate + U[1,121]``, ``l_commitdate = o_orderdate +
+U[30,90]``, ``l_receiptdate = l_shipdate + U[1,30]``, and return flags
+tied to receipt dates.  Those correlations are what break the optimizer's
+attribute-value-independence assumption in Q12/Q19-style predicates and
+produce Figure 1's post-tuning disasters.
+
+The paper runs SF 10 (~10GB); a Python reproduction runs SF 0.01–0.05 and
+keeps every ratio that matters (lines per order, date windows, domain
+sizes) identical, since the experiments are driven by selectivities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import WorkloadError
+from repro.storage.table import Table
+from repro.workloads.tpch import schema as tpch_schema
+
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW")
+_SHIPMODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+_INSTRUCTIONS = (
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+)
+_CONTAINERS = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+)
+_TYPE_SYLL1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+_TYPE_SYLL2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+_TYPE_SYLL3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+)
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+_NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+#: Latest order date: ENDDATE - 151 days, so receipts stay inside 1998.
+_MAX_ORDERDATE = tpch_schema.ENDDATE - 151
+
+
+@dataclass
+class TpchTables:
+    """Handles to the eight loaded tables."""
+
+    region: Table
+    nation: Table
+    supplier: Table
+    customer: Table
+    part: Table
+    partsupp: Table
+    orders: Table
+    lineitem: Table
+    scale_factor: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def all_tables(self) -> list[Table]:
+        """The tables in load order."""
+        return [self.region, self.nation, self.supplier, self.customer,
+                self.part, self.partsupp, self.orders, self.lineitem]
+
+
+def scaled_rows(table_name: str, scale_factor: float) -> int:
+    """Row count of one table at ``scale_factor`` (min 1)."""
+    if table_name in ("region", "nation"):
+        return tpch_schema.BASE_ROWS[table_name]
+    base = tpch_schema.BASE_ROWS[table_name]
+    return max(1, int(base * scale_factor))
+
+
+def generate_tpch(db: Database, scale_factor: float = 0.01,
+                  seed: int = 2015,
+                  primary_key_indexes: bool = True,
+                  stale_batch_cutoff: int | None = None) -> TpchTables:
+    """Generate and load all eight tables into ``db``.
+
+    With ``primary_key_indexes`` every table gets an index on its primary
+    key column (orders and part PK look-ups back the INLJ plans of Q4/Q14);
+    secondary "tuning" indexes are the advisor's job, not the generator's.
+    ``stale_batch_cutoff`` (a day number) splits orders/lineitem into two
+    chronological ingest batches; the batch-1 fraction is reported in
+    ``TpchTables.extras['stale_fraction']`` for prefix-analyzing.
+    """
+    if scale_factor <= 0:
+        raise WorkloadError("scale_factor must be positive")
+    rng = random.Random(seed)
+
+    region = db.load_table(
+        "region", tpch_schema.REGION,
+        ((i, _REGIONS[i]) for i in range(5)),
+    )
+    nation = db.load_table(
+        "nation", tpch_schema.NATION,
+        ((i, name, reg) for i, (name, reg) in enumerate(_NATIONS)),
+    )
+
+    n_supp = scaled_rows("supplier", scale_factor)
+    supplier = db.load_table(
+        "supplier", tpch_schema.SUPPLIER,
+        (
+            (i + 1, f"Supplier#{i + 1:09d}", rng.randrange(25),
+             round(rng.uniform(-999.99, 9999.99), 2))
+            for i in range(n_supp)
+        ),
+    )
+
+    n_cust = scaled_rows("customer", scale_factor)
+    customer = db.load_table(
+        "customer", tpch_schema.CUSTOMER,
+        (
+            (i + 1, f"Customer#{i + 1:09d}", rng.randrange(25),
+             rng.choice(_SEGMENTS),
+             round(rng.uniform(-999.99, 9999.99), 2))
+            for i in range(n_cust)
+        ),
+    )
+
+    n_part = scaled_rows("part", scale_factor)
+
+    def part_rows():
+        for i in range(n_part):
+            name = " ".join(rng.sample(_NAME_WORDS, 2))
+            mfgr_id = rng.randrange(1, 6)
+            brand = f"Brand#{mfgr_id}{rng.randrange(1, 6)}"
+            ptype = (f"{rng.choice(_TYPE_SYLL1)} "
+                     f"{rng.choice(_TYPE_SYLL2)} {rng.choice(_TYPE_SYLL3)}")
+            yield (
+                i + 1, name, f"Manufacturer#{mfgr_id}", brand, ptype,
+                rng.randrange(1, 51), rng.choice(_CONTAINERS),
+                round(900 + (i % 1000) + rng.uniform(0, 100), 2),
+            )
+
+    part = db.load_table("part", tpch_schema.PART, part_rows())
+
+    def partsupp_rows():
+        for p in range(1, n_part + 1):
+            for s in range(4):
+                suppkey = 1 + (p + s * (n_supp // 4 + 1)) % n_supp
+                yield (p, suppkey, rng.randrange(1, 10_000),
+                       round(rng.uniform(1.0, 1000.0), 2))
+
+    partsupp = db.load_table("partsupp", tpch_schema.PARTSUPP,
+                             partsupp_rows())
+
+    # Orders are ingested in two chronological batches: everything dated
+    # up to ``stale_batch_cutoff`` first (in random order within the
+    # batch), then the newer orders.  Statistics collected after batch 1
+    # (``TpchTables.extras['stale_fraction']``) have never seen the recent
+    # date domain — the classic stale-statistics failure of the paper's
+    # motivation — while batch-2 date ranges remain physically *scattered*
+    # within the heap tail, so a misestimated index scan over them pays
+    # real random I/O.  With ``stale_batch_cutoff=None`` dates are simply
+    # random (fresh-statistics setups).
+    n_orders = scaled_rows("orders", scale_factor)
+    all_dates = [
+        rng.randrange(tpch_schema.STARTDATE, _MAX_ORDERDATE)
+        for _ in range(n_orders)
+    ]
+    if stale_batch_cutoff is not None:
+        batch1 = [d for d in all_dates if d < stale_batch_cutoff]
+        batch2 = [d for d in all_dates if d >= stale_batch_cutoff]
+        rng.shuffle(batch1)
+        rng.shuffle(batch2)
+        order_dates = batch1 + batch2
+        orders_batch1 = len(batch1)
+    else:
+        order_dates = all_dates
+        orders_batch1 = n_orders
+    lineitem_batch1 = 0
+    order_rows: list[tuple] = []
+    line_rows: list[tuple] = []
+    for o in range(1, n_orders + 1):
+        if o == orders_batch1 + 1:
+            lineitem_batch1 = len(line_rows)
+        custkey = rng.randrange(1, n_cust + 1)
+        orderdate = order_dates[o - 1]
+        n_lines = rng.randrange(1, 8)
+        total = 0.0
+        all_filled = True
+        for ln in range(1, n_lines + 1):
+            partkey = rng.randrange(1, n_part + 1)
+            suppkey = 1 + (partkey + rng.randrange(4) *
+                           (n_supp // 4 + 1)) % n_supp
+            quantity = float(rng.randrange(1, 51))
+            extended = round(quantity * (900 + partkey % 1000) / 10, 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            shipdate = orderdate + rng.randrange(1, 122)
+            commitdate = orderdate + rng.randrange(30, 91)
+            receiptdate = shipdate + rng.randrange(1, 31)
+            if receiptdate <= tpch_schema.CURRENTDATE:
+                returnflag = "R" if rng.random() < 0.5 else "A"
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= tpch_schema.CURRENTDATE else "O"
+            if linestatus == "O":
+                all_filled = False
+            total += extended * (1 + tax) * (1 - discount)
+            line_rows.append((
+                o, partkey, suppkey, ln, quantity, extended, discount, tax,
+                returnflag, linestatus, shipdate, commitdate, receiptdate,
+                rng.choice(_INSTRUCTIONS), rng.choice(_SHIPMODES),
+            ))
+        status = "F" if all_filled else ("O" if total > 0 else "P")
+        order_rows.append((
+            o, custkey, status, round(total, 2), orderdate,
+            rng.choice(_PRIORITIES), 0,
+        ))
+    if orders_batch1 >= n_orders:
+        lineitem_batch1 = len(line_rows)
+    orders = db.load_table("orders", tpch_schema.ORDERS, order_rows)
+    lineitem = db.load_table("lineitem", tpch_schema.LINEITEM, line_rows)
+
+    if primary_key_indexes:
+        db.create_index("supplier", "s_suppkey")
+        db.create_index("customer", "c_custkey")
+        db.create_index("part", "p_partkey")
+        db.create_index("orders", "o_orderkey")
+        db.create_index("lineitem", "l_orderkey")
+
+    return TpchTables(
+        region=region, nation=nation, supplier=supplier, customer=customer,
+        part=part, partsupp=partsupp, orders=orders, lineitem=lineitem,
+        scale_factor=scale_factor,
+        extras={
+            "orders_stale_rows": orders_batch1,
+            "lineitem_stale_rows": lineitem_batch1,
+            "stale_fraction": orders_batch1 / max(1, n_orders),
+        },
+    )

@@ -1,0 +1,122 @@
+"""TPC-H schema, faithful to the spec's columns relevant to access paths.
+
+Column names, types and (CHAR) widths follow the TPC-H specification;
+columns that no Figure-1 query touches (comments, addresses, phones) are
+dropped to keep tuple sizes — and therefore page counts — focused on what
+the experiments measure.  Dates are stored as integer days since
+1992-01-01 (the spec's ``STARTDATE``).
+"""
+
+from __future__ import annotations
+
+from repro.storage.types import Column, ColumnType, Schema
+
+#: Days since 1992-01-01 for the spec's date boundaries.
+STARTDATE = 0                      # 1992-01-01
+CURRENTDATE = 1826                 # 1995-06-17, the spec's :download:`now`
+ENDDATE = 2557                     # 1998-12-31
+
+
+def date(year: int, month: int = 1, day: int = 1) -> int:
+    """Days since 1992-01-01 for a calendar date (1992-1998 inclusive)."""
+    import datetime
+
+    base = datetime.date(1992, 1, 1)
+    return (datetime.date(year, month, day) - base).days
+
+
+REGION = Schema([
+    Column("r_regionkey", ColumnType.INT),
+    Column("r_name", ColumnType.CHAR, 12),
+])
+
+NATION = Schema([
+    Column("n_nationkey", ColumnType.INT),
+    Column("n_name", ColumnType.CHAR, 15),
+    Column("n_regionkey", ColumnType.INT),
+])
+
+SUPPLIER = Schema([
+    Column("s_suppkey", ColumnType.INT),
+    Column("s_name", ColumnType.CHAR, 18),
+    Column("s_nationkey", ColumnType.INT),
+    Column("s_acctbal", ColumnType.FLOAT),
+])
+
+CUSTOMER = Schema([
+    Column("c_custkey", ColumnType.INT),
+    Column("c_name", ColumnType.CHAR, 18),
+    Column("c_nationkey", ColumnType.INT),
+    Column("c_mktsegment", ColumnType.CHAR, 10),
+    Column("c_acctbal", ColumnType.FLOAT),
+])
+
+PART = Schema([
+    Column("p_partkey", ColumnType.INT),
+    Column("p_name", ColumnType.CHAR, 22),
+    Column("p_mfgr", ColumnType.CHAR, 14),
+    Column("p_brand", ColumnType.CHAR, 10),
+    Column("p_type", ColumnType.CHAR, 25),
+    Column("p_size", ColumnType.INT),
+    Column("p_container", ColumnType.CHAR, 10),
+    Column("p_retailprice", ColumnType.FLOAT),
+])
+
+PARTSUPP = Schema([
+    Column("ps_partkey", ColumnType.INT),
+    Column("ps_suppkey", ColumnType.INT),
+    Column("ps_availqty", ColumnType.INT),
+    Column("ps_supplycost", ColumnType.FLOAT),
+])
+
+ORDERS = Schema([
+    Column("o_orderkey", ColumnType.INT),
+    Column("o_custkey", ColumnType.INT),
+    Column("o_orderstatus", ColumnType.CHAR, 1),
+    Column("o_totalprice", ColumnType.FLOAT),
+    Column("o_orderdate", ColumnType.DATE),
+    Column("o_orderpriority", ColumnType.CHAR, 15),
+    Column("o_shippriority", ColumnType.INT),
+])
+
+LINEITEM = Schema([
+    Column("l_orderkey", ColumnType.INT),
+    Column("l_partkey", ColumnType.INT),
+    Column("l_suppkey", ColumnType.INT),
+    Column("l_linenumber", ColumnType.INT),
+    Column("l_quantity", ColumnType.FLOAT),
+    Column("l_extendedprice", ColumnType.FLOAT),
+    Column("l_discount", ColumnType.FLOAT),
+    Column("l_tax", ColumnType.FLOAT),
+    Column("l_returnflag", ColumnType.CHAR, 1),
+    Column("l_linestatus", ColumnType.CHAR, 1),
+    Column("l_shipdate", ColumnType.DATE),
+    Column("l_commitdate", ColumnType.DATE),
+    Column("l_receiptdate", ColumnType.DATE),
+    Column("l_shipinstruct", ColumnType.CHAR, 25),
+    Column("l_shipmode", ColumnType.CHAR, 10),
+])
+
+#: All schemas keyed by table name.
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+#: Base row counts at scale factor 1.0, per the spec.
+BASE_ROWS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    # lineitem rows emerge from orders × U[1,7] lines.
+}

@@ -1,0 +1,43 @@
+"""Shared fixtures: small databases reused across the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.database import Database
+from repro.storage.types import Schema
+from repro.workloads.micro import build_micro_table
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh default-config database."""
+    return Database()
+
+
+@pytest.fixture(scope="session")
+def micro_setup():
+    """A session-shared micro-benchmark table (12K rows = 100 pages).
+
+    Queries only read; ``measure`` resets caches per run, so sharing is
+    safe and saves rebuild time across the suite.
+    """
+    database = Database()
+    table = build_micro_table(database, num_tuples=12_000, seed=7)
+    return database, table
+
+
+@pytest.fixture()
+def small_table(db):
+    """A 3-column table with deterministic values and an index on c2."""
+    rng = random.Random(123)
+    schema = Schema.of_ints(["c1", "c2", "c3"])
+    rows = [
+        (i, rng.randrange(0, 1000), rng.randrange(0, 10))
+        for i in range(5_000)
+    ]
+    table = db.load_table("t", schema, rows)
+    db.create_index("t", "c2")
+    return db, table

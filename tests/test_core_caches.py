@@ -1,0 +1,128 @@
+"""Smooth Scan's auxiliary structures: bitmaps and the Result Cache."""
+
+import pytest
+
+from repro.core.caches import PageIdCache, ResultCache, TupleIdCache
+from repro.errors import ExecutionError
+from repro.storage.disk import DiskProfile, SimClock, SimulatedDisk
+from repro.storage.types import TID
+
+
+def test_page_id_cache_marks_once():
+    cache = PageIdCache(100)
+    assert not cache.is_seen(5)
+    assert cache.mark(5) is True
+    assert cache.is_seen(5)
+    assert cache.mark(5) is False
+    assert cache.pages_seen == 1
+
+
+def test_page_id_cache_bounds():
+    cache = PageIdCache(10)
+    with pytest.raises(ExecutionError):
+        cache.mark(10)
+    with pytest.raises(ExecutionError):
+        cache.mark(-1)
+
+
+def test_page_id_cache_memory_is_bitmap_sized():
+    # One bit per page: 1M pages -> 125KB (the paper quotes 140KB).
+    cache = PageIdCache(1_000_000)
+    assert cache.memory_bytes == 125_000
+
+
+def test_tuple_id_cache():
+    cache = TupleIdCache(num_pages=10, tuples_per_page=8)
+    tid = TID(3, 4)
+    assert not cache.contains(tid)
+    cache.add(tid)
+    assert cache.contains(tid)
+    cache.add(tid)
+    assert cache.recorded == 1
+    assert not cache.contains(TID(3, 5))
+
+
+def test_tuple_id_cache_distinct_positions():
+    cache = TupleIdCache(num_pages=4, tuples_per_page=4)
+    cache.add(TID(1, 0))
+    assert not cache.contains(TID(0, 3))
+    assert not cache.contains(TID(1, 1))
+    assert not cache.contains(TID(2, 0))
+
+
+@pytest.fixture()
+def rc():
+    return ResultCache(separators=[10, 20, 30], bytes_per_entry=64)
+
+
+def test_result_cache_partition_of(rc):
+    assert rc.partition_of(5) == 0
+    assert rc.partition_of(10) == 1
+    assert rc.partition_of(25) == 2
+    assert rc.partition_of(99) == 3
+    assert rc.num_partitions == 4
+
+
+def test_result_cache_insert_take(rc):
+    tid = TID(1, 1)
+    rc.insert(5, tid, ("row",))
+    assert rc.take(5, tid) == ("row",)
+    assert rc.take(5, TID(9, 9)) is None
+    assert rc.stats.hits == 1
+    assert rc.stats.probes == 2
+
+
+def test_result_cache_advance_bulk_evicts(rc):
+    rc.insert(5, TID(0, 0), ("a",))
+    rc.insert(15, TID(0, 1), ("b",))
+    rc.insert(35, TID(0, 2), ("c",))
+    assert rc.entries == 3
+    evicted = rc.advance(20)  # partitions below 20 fully passed
+    assert evicted == 2
+    assert rc.entries == 1
+    assert rc.take(35, TID(0, 2)) == ("c",)
+
+
+def test_result_cache_advance_keeps_current_key_partition(rc):
+    rc.insert(10, TID(0, 0), ("edge",))  # partition 1 ([10, 20))
+    rc.advance(10)
+    assert rc.take(10, TID(0, 0)) == ("edge",)
+
+
+def test_result_cache_peak_tracking(rc):
+    for i in range(5):
+        rc.insert(5, TID(0, i), (i,))
+    rc.advance(50)
+    assert rc.stats.peak_entries == 5
+    assert rc.stats.peak_bytes == 5 * 64
+    assert rc.entries == 0
+
+
+def test_result_cache_hit_rate(rc):
+    rc.insert(5, TID(0, 0), ("a",))
+    rc.take(5, TID(0, 0))
+    rc.take(5, TID(0, 1))
+    assert rc.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_result_cache_spill_and_unspill():
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    cache = ResultCache(separators=[100], bytes_per_entry=1000,
+                        memory_limit_bytes=3000, page_bytes=8192)
+    # Fill the far partition (keys >= 100) past the limit while probing
+    # near the low one.
+    for i in range(5):
+        cache.insert(200, TID(1, i), (i,), disk=disk)
+    assert cache.stats.spills >= 1
+    assert disk.stats.requests > 0
+    # Probing the spilled partition reads it back.
+    row = cache.take(200, TID(1, 0), disk=disk)
+    assert row == (0,)
+    assert cache.stats.unspills == 1
+
+
+def test_result_cache_no_separators_single_partition():
+    cache = ResultCache(separators=[], bytes_per_entry=10)
+    cache.insert(1, TID(0, 0), ("x",))
+    assert cache.num_partitions == 1
+    assert cache.take(999, TID(0, 0)) == ("x",)

@@ -1,0 +1,84 @@
+"""Morphing policies and triggering points."""
+
+import pytest
+
+from repro.core.policy import (
+    ElasticPolicy,
+    GreedyPolicy,
+    MorphPolicy,
+    SelectivityIncreasePolicy,
+    policy_by_name,
+)
+from repro.core.trigger import (
+    EagerTrigger,
+    OptimizerDrivenTrigger,
+    SLADrivenTrigger,
+)
+
+
+def test_greedy_always_doubles():
+    p = GreedyPolicy()
+    assert p.next_region(1, 0.0, 1.0) == 2
+    assert p.next_region(8, 0.0, 1.0) == 16
+
+
+def test_si_doubles_on_increase_keeps_otherwise():
+    p = SelectivityIncreasePolicy()
+    assert p.next_region(4, 0.9, 0.5) == 8
+    assert p.next_region(4, 0.2, 0.5) == 4  # never shrinks
+
+
+def test_elastic_two_way():
+    p = ElasticPolicy()
+    assert p.next_region(4, 0.9, 0.5) == 8
+    assert p.next_region(4, 0.2, 0.5) == 2
+    assert p.next_region(1, 0.0, 0.5) == 1  # floor at one page
+
+
+def test_default_comparison_is_non_strict():
+    # local == global counts as "not lower" and grows (see policy module
+    # docstring for the reconciliation of Fig. 5b with the CR analysis).
+    assert ElasticPolicy().next_region(2, 0.5, 0.5) == 4
+    assert ElasticPolicy(strict=True).next_region(2, 0.5, 0.5) == 1
+    assert SelectivityIncreasePolicy(strict=True).next_region(2, 0.5, 0.5) == 2
+
+
+def test_initial_region_is_entire_page_probe():
+    for policy in (GreedyPolicy(), SelectivityIncreasePolicy(),
+                   ElasticPolicy()):
+        assert policy.initial_region() == 1
+
+
+def test_policy_by_name():
+    assert isinstance(policy_by_name("greedy"), GreedyPolicy)
+    assert isinstance(policy_by_name("elastic"), ElasticPolicy)
+    assert isinstance(policy_by_name("selectivity-increase"),
+                      SelectivityIncreasePolicy)
+    with pytest.raises(ValueError):
+        policy_by_name("nope")
+
+
+def test_eager_trigger():
+    t = EagerTrigger()
+    assert t.eager
+    assert t.should_morph(0)
+    assert t.post_morph_policy() is None
+
+
+def test_optimizer_trigger_fires_past_estimate():
+    t = OptimizerDrivenTrigger(estimated_cardinality=100)
+    assert not t.eager
+    assert not t.should_morph(100)
+    assert t.should_morph(101)
+    with pytest.raises(ValueError):
+        OptimizerDrivenTrigger(-1)
+
+
+def test_sla_trigger_switches_to_greedy():
+    t = SLADrivenTrigger(trigger_cardinality=50)
+    assert not t.eager
+    assert not t.should_morph(49)
+    assert t.should_morph(50)
+    assert isinstance(t.post_morph_policy(), GreedyPolicy)
+    with pytest.raises(ValueError):
+        SLADrivenTrigger(-5)

@@ -1,0 +1,190 @@
+"""Section V formulas, SLA trigger math, and competitive analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel import (
+    CostParams,
+    ModeSplit,
+    elastic_cr_adversarial,
+    elastic_cr_bound,
+    full_scan_cost,
+    greedy_cr_curve,
+    index_scan_cost,
+    max_cr,
+    optimal_cost,
+    smooth_cost_mode1,
+    smooth_cost_mode2,
+    smooth_model_cr_curve,
+    smooth_scan_cost,
+    sla_bound_for_full_scans,
+    sort_scan_cost,
+    trigger_cardinality,
+    worst_case_total_cost,
+)
+from repro.errors import ConfigError
+
+PAPER = CostParams(tuple_size=64, num_tuples=400_000_000, key_size=4)
+
+
+def test_paper_geometry():
+    assert PAPER.tuples_per_page == 120
+    assert PAPER.num_pages == 3_333_334
+    assert PAPER.fanout == 1706
+    assert PAPER.height == 3
+
+
+def test_full_scan_cost_selectivity_independent():
+    assert full_scan_cost(PAPER) == full_scan_cost(PAPER.at_selectivity(1.0))
+    assert full_scan_cost(PAPER) == PAPER.num_pages
+
+
+def test_index_scan_cost_linear_in_cardinality():
+    lo = index_scan_cost(PAPER.at_selectivity(0.001))
+    hi = index_scan_cost(PAPER.at_selectivity(0.01))
+    assert hi / lo == pytest.approx(10.0, rel=0.01)
+
+
+def test_index_vs_full_tipping_point_is_tiny():
+    """The knife's edge of Section I: way below 1% on a 10:1 device."""
+    sel = 0.001
+    while index_scan_cost(PAPER.at_selectivity(sel)) > \
+            full_scan_cost(PAPER) and sel > 1e-7:
+        sel /= 2
+    assert sel < 0.001  # tipping point below 0.1% selectivity
+
+
+def test_mode_split_validation():
+    split = ModeSplit(card_m0=10, card_m1=20, card_m2=30)
+    assert split.total == 60
+    with pytest.raises(ConfigError):
+        ModeSplit(card_m0=-1)
+
+
+def test_mode1_cost_is_random_per_page():
+    p = PAPER.at_selectivity(0.0001)
+    split = ModeSplit(card_m1=p.cardinality)
+    assert smooth_cost_mode1(p, split) == \
+        min(p.cardinality, p.num_pages) * p.rand_cost
+
+
+def test_mode2_jump_bounds():
+    p = PAPER.at_selectivity(0.5)
+    split = ModeSplit(card_m2=p.cardinality)
+    min_cost = smooth_cost_mode2(p, split, jumps="min")
+    max_cost = smooth_cost_mode2(p, split, jumps="max")
+    conv = smooth_cost_mode2(p, split, jumps="converged")
+    assert min_cost <= conv <= max_cost + 1e-9
+    with pytest.raises(ConfigError):
+        smooth_cost_mode2(p, split, jumps="banana")
+
+
+def test_smooth_cost_between_extremes_at_high_selectivity():
+    p = PAPER.at_selectivity(1.0)
+    ss = smooth_scan_cost(p)
+    assert ss < index_scan_cost(p) / 50
+    assert ss < full_scan_cost(p) * 1.5  # near-sequential
+
+
+def test_smooth_scan_cost_zero_selectivity():
+    p = PAPER.at_selectivity(0.0)
+    # Just the descent plus nothing.
+    assert smooth_scan_cost(p) == pytest.approx(p.height * p.rand_cost)
+
+
+def test_sort_scan_cost_between_index_and_full_mid_range():
+    p = PAPER.at_selectivity(0.001)
+    assert sort_scan_cost(p) < index_scan_cost(p)
+
+
+def test_elastic_cr_matches_paper():
+    # Paper: CR ≈ 5.5 on HDD (bound 11).
+    assert elastic_cr_bound(PAPER) == 11.0
+    assert 4.0 < elastic_cr_adversarial(PAPER) < 6.0
+
+
+def test_elastic_cr_ssd_bound():
+    ssd = CostParams(tuple_size=64, num_tuples=400_000_000, key_size=4,
+                     rand_cost=2.0, seq_cost=1.0)
+    assert elastic_cr_bound(ssd) == 3.0
+    assert elastic_cr_adversarial(ssd) < elastic_cr_adversarial(PAPER)
+
+
+def test_greedy_cr_sublinear_in_table_size():
+    """Greedy's soft bound: CR grows with #P but slower than linearly."""
+    small = CostParams(tuple_size=64, num_tuples=1_000_000, key_size=4)
+    big = CostParams(tuple_size=64, num_tuples=100_000_000, key_size=4)
+    grid = [1e-7, 1e-6, 1e-5]
+    cr_small = max_cr(greedy_cr_curve(small, grid)).ratio
+    cr_big = max_cr(greedy_cr_curve(big, grid)).ratio
+    assert cr_big > cr_small
+    assert cr_big / cr_small < 100  # sublinear in the 100x size gap
+
+
+def test_smooth_model_cr_curve_bounded():
+    points = smooth_model_cr_curve(
+        PAPER, [1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0]
+    )
+    worst = max_cr(points)
+    assert worst.ratio < 3.0  # the model's Smooth Scan stays near-optimal
+
+
+def test_sla_trigger_monotone_in_bound():
+    sla2 = sla_bound_for_full_scans(PAPER, 2.0)
+    sla3 = sla_bound_for_full_scans(PAPER, 3.0)
+    assert trigger_cardinality(PAPER, sla3) > \
+        trigger_cardinality(PAPER, sla2)
+
+
+def test_sla_trigger_guarantee():
+    sla = sla_bound_for_full_scans(PAPER, 2.0)
+    card = trigger_cardinality(PAPER, sla)
+    assert worst_case_total_cost(PAPER, card) <= sla
+    assert worst_case_total_cost(PAPER, card + 1) > sla
+
+
+def test_sla_unachievable_raises():
+    with pytest.raises(ConfigError):
+        trigger_cardinality(PAPER, 1.0)  # below even the eager worst case
+
+
+def test_sla_bound_validation():
+    with pytest.raises(ConfigError):
+        sla_bound_for_full_scans(PAPER, 0)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        CostParams(tuple_size=64, num_tuples=100, selectivity=2.0)
+    with pytest.raises(ConfigError):
+        CostParams(tuple_size=64, num_tuples=-1)
+    with pytest.raises(ConfigError):
+        CostParams(tuple_size=64, num_tuples=100, rand_cost=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=1_000, max_value=10_000_000))
+def test_property_costs_nonnegative_and_full_constant(sel, tuples):
+    p = CostParams(tuple_size=64, num_tuples=tuples, selectivity=sel)
+    assert full_scan_cost(p) >= 0
+    assert index_scan_cost(p) >= 0
+    assert smooth_scan_cost(p) >= 0
+    assert optimal_cost(p) <= full_scan_cost(p)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000))
+def test_property_mode_split_conserves_cardinality(m0, m1, m2):
+    split = ModeSplit(card_m0=m0, card_m1=m1, card_m2=m2)
+    assert split.total == m0 + m1 + m2  # Eq. (12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=1e-6, max_value=1.0))
+def test_property_index_cost_monotone_in_selectivity(sel):
+    lower = index_scan_cost(PAPER.at_selectivity(sel / 2))
+    higher = index_scan_cost(PAPER.at_selectivity(sel))
+    assert higher >= lower

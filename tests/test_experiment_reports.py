@@ -1,0 +1,76 @@
+"""Report rendering of every experiment result type.
+
+The benches print these for humans; a regression that breaks formatting
+would silently corrupt EXPERIMENTS.md regeneration, so the strings are
+tested explicitly (at tiny scale).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_competitive,
+    run_fig11,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig8,
+    run_fig9,
+)
+from repro.experiments.common import make_micro_db
+
+GRID = (0.0, 1.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return make_micro_db(12_000)
+
+
+def test_fig5_report(tiny):
+    r = run_fig5(order_by=False, selectivities_pct=GRID, setup=tiny)
+    text = r.report()
+    assert "Figure 5b" in text
+    assert "full" in text and "smooth" in text
+    assert len(text.splitlines()) == 3 + len(GRID)
+    r2 = run_fig5(order_by=True, selectivities_pct=(1.0,), setup=tiny)
+    assert "Figure 5a" in r2.report()
+
+
+def test_fig6_report(tiny):
+    r = run_fig6(selectivities_pct=GRID, setup=tiny)
+    assert "mode sensitivity" in r.report()
+
+
+def test_fig7a_report(tiny):
+    r = run_fig7a(selectivities_pct=(1.0,), setup=tiny)
+    text = r.report()
+    assert "greedy" in text and "elastic" in text
+
+
+def test_fig8_report():
+    r = run_fig8(num_tuples=60_000)
+    text = r.report()
+    assert "skewed distribution" in text
+    assert "elastic_smooth" in text
+
+
+def test_fig9_report(tiny):
+    r = run_fig9(selectivities_pct=(1.0, 100.0), setup=tiny)
+    text = r.report()
+    assert "cache_overhead_%" in text
+    assert "morphing_accuracy_%" in text
+
+
+def test_fig11_report(tiny):
+    r = run_fig11(selectivities_pct=(0.01, 100.0), setup=tiny)
+    text = r.report()
+    assert "Switch Scan cliff" in text
+    assert "threshold" in text
+
+
+def test_competitive_report(tiny):
+    r = run_competitive(num_tuples=12_000, adversarial_pages=100,
+                        selectivities_pct=(1.0,), setup=tiny)
+    text = r.report()
+    assert "Competitive ratio sweep" in text
+    assert "strict elastic" in text

@@ -1,0 +1,158 @@
+"""Experiment modules at reduced scale: run, and check the paper's shapes.
+
+These are the executable versions of EXPERIMENTS.md's claims.  Scales are
+small so the suite stays fast; the benchmarks run the full defaults.
+"""
+
+import pytest
+
+from repro.experiments import (
+    make_tuned_tpch,
+    run_competitive,
+    run_fig1,
+    run_fig10,
+    run_fig11,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig9,
+)
+from repro.experiments.common import make_micro_db
+
+GRID = (0.0, 0.01, 1.0, 20.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def micro48k():
+    return make_micro_db(48_000)
+
+
+@pytest.fixture(scope="module")
+def tpch_setup():
+    return make_tuned_tpch(scale_factor=0.004)
+
+
+def test_fig5b_shapes(micro48k):
+    r = run_fig5(order_by=False, selectivities_pct=GRID, setup=micro48k)
+    i100 = r.selectivities_pct.index(100.0)
+    # Index scan melts at 100%; smooth stays within 2x of the full scan.
+    assert r.seconds["index"][i100] > 20 * r.seconds["full"][i100]
+    assert r.seconds["smooth"][i100] < 2.0 * r.seconds["full"][i100]
+    # At 0.01% the index-driven paths all beat the full scan.
+    i_low = r.selectivities_pct.index(0.01)
+    assert r.seconds["index"][i_low] < r.seconds["full"][i_low]
+    assert r.seconds["smooth"][i_low] < r.seconds["full"][i_low]
+    assert r.report().startswith("Figure 5b")
+
+
+def test_fig5a_order_by_penalizes_blocking_paths(micro48k):
+    r = run_fig5(order_by=True, selectivities_pct=(20.0,), setup=micro48k)
+    # Under ORDER BY, smooth needs no posterior sort and wins at 20%.
+    assert r.seconds["smooth"][0] < r.seconds["full"][0]
+    assert r.seconds["smooth"][0] < r.seconds["sort"][0]
+
+
+def test_fig6_mode_ordering(micro48k):
+    r = run_fig6(selectivities_pct=(100.0,), setup=micro48k)
+    full = r.seconds["full"][0]
+    page_probe = r.seconds["smooth_mode1"][0]
+    flattening = r.seconds["smooth_flattening"][0]
+    index = r.seconds["index"][0]
+    assert index > page_probe > flattening  # Fig 6's vertical ordering
+    assert flattening < 2.0 * full
+    assert page_probe > 3.0 * full  # mode 1 alone stays random-bound
+
+
+def test_fig7a_greedy_overpays_at_low_selectivity(micro48k):
+    r = run_fig7a(selectivities_pct=(0.05, 100.0), setup=micro48k)
+    assert r.seconds["greedy"][0] > 1.5 * r.seconds["elastic"][0]
+    # All policies converge near the high end.
+    assert r.seconds["greedy"][1] < 2.0 * r.seconds["elastic"][1]
+
+
+def test_fig7b_sla_respected(micro48k):
+    r = run_fig7b(selectivities_pct=(0.005, 100.0), setup=micro48k)
+    assert r.sla_trigger_cardinality > 0
+    for label in ("eager", "optimizer", "sla"):
+        assert r.seconds[label][1] <= r.sla_bound_seconds * 1.05
+
+
+def test_fig8_si_overshoots_elastic_adapts():
+    r = run_fig8(num_tuples=240_000)
+    assert r.pages_read["si_smooth"] > 3 * r.pages_read["elastic_smooth"]
+    assert r.seconds["si_smooth"] > r.seconds["elastic_smooth"]
+    # Elastic lands near the index scan's page count, far below full.
+    assert r.pages_read["elastic_smooth"] < r.pages_read["full"] / 4
+    assert len({r.result_rows[k] for k in r.result_rows}) == 1
+
+
+def test_fig9_cache_metrics(micro48k):
+    r = run_fig9(selectivities_pct=(1.0, 100.0), setup=micro48k)
+    assert r.cache_hit_rate_pct[1] > 95.0        # →100% when dense
+    assert r.morphing_accuracy_pct[1] == 100.0
+    assert max(r.cache_overhead_pct) < 25.0      # paper: ≤14%
+
+
+def test_fig10_ssd_narrows_the_gap():
+    hdd = run_fig5(order_by=False, num_tuples=48_000,
+                   selectivities_pct=(100.0,))
+    ssd = run_fig10(num_tuples=48_000, selectivities_pct=(100.0,))
+    gap_hdd = hdd.seconds["index"][0] / hdd.seconds["full"][0]
+    gap_ssd = ssd.seconds["index"][0] / ssd.seconds["full"][0]
+    assert gap_ssd < gap_hdd  # 2:1 vs 10:1 random cost
+    assert ssd.seconds["smooth"][0] < 1.5 * ssd.seconds["full"][0]
+
+
+def test_fig11_cliff(micro48k):
+    r = run_fig11(selectivities_pct=(0.001, 0.05, 100.0), setup=micro48k)
+    assert r.switched == [False, True, True]
+    # Before the cliff, switch ≈ index behaviour (cheap); after, ≈ full.
+    assert r.seconds["switch"][0] < r.seconds["full"][0] / 2
+    assert r.seconds["switch"][1] >= r.seconds["full"][1]
+    assert r.seconds["smooth"][1] < r.seconds["switch"][1]
+
+
+def test_competitive_ratios():
+    r = run_competitive(num_tuples=24_000, adversarial_pages=400)
+    # Default elastic on a prefetching disk: the paper's empirical CR ≈ 2.
+    assert 1.2 < r.adversarial_cr < 3.5
+    # Strict elastic, prefetching disabled: the analysis regime (≈5.5);
+    # per-tuple CPU dilutes the pure-I/O ratio somewhat.
+    assert 3.0 < r.adversarial_cr_strict < 7.0
+    assert r.adversarial_cr_strict > r.adversarial_cr
+    assert r.sweep_max_cr < 4.0
+    assert "adversarial" in r.report()
+
+
+def test_fig1_tuning_regressions_and_smooth_repair(tpch_setup):
+    r = run_fig1(setup=tpch_setup,
+                 queries=["Q1", "Q6", "Q7", "Q12", "Q14", "Q19"])
+    # Tuning must hurt at least one query badly...
+    worst = max(r.normalized(q) for q in r.queries)
+    assert worst > 3.0
+    # ...while smooth stays within a small factor of original everywhere.
+    for q in r.queries:
+        assert r.smooth_s[q] < 3.0 * max(r.original_s[q], r.tuned_s[q])
+    assert "Figure 1" in r.report()
+
+
+def test_fig4_smooth_fixes_bad_choices(tpch_setup):
+    r = run_fig4(setup=tpch_setup)
+    psql_q7 = r.data[("Q7", "pSQL")]
+    smooth_q7 = r.data[("Q7", "pSQL+SmoothScan")]
+    assert smooth_q7.total_s < psql_q7.total_s  # the paper's 7x win
+    # Q1 (98%, already optimal): smooth adds only bounded overhead.
+    psql_q1 = r.data[("Q1", "pSQL")]
+    smooth_q1 = r.data[("Q1", "pSQL+SmoothScan")]
+    assert smooth_q1.total_s < 1.6 * psql_q1.total_s
+    # Breakdown components add up.
+    assert psql_q1.total_s == pytest.approx(psql_q1.cpu_s + psql_q1.io_wait_s)
+    assert "Table II" in r.report_table2()
+
+
+def test_fig1_workload_factor_degrades(tpch_setup):
+    r = run_fig1(setup=tpch_setup, include_smooth=False)
+    assert r.workload_factor() > 1.5  # paper: 22x at full scale

@@ -1,0 +1,195 @@
+"""Predicates, key ranges, and range extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanningError
+from repro.exec.expressions import (
+    And,
+    Between,
+    ColumnComparison,
+    CompareOp,
+    Comparison,
+    InList,
+    KeyRange,
+    Not,
+    Or,
+    StringMatch,
+    TruePredicate,
+    column_getter,
+    conjunction,
+    extract_range,
+    require_columns,
+)
+from repro.storage.types import Schema
+
+SCHEMA = Schema.of_ints(["a", "b", "c"])
+
+
+def bind(pred):
+    return pred.bind(SCHEMA)
+
+
+def test_true_predicate():
+    assert bind(TruePredicate())((1, 2, 3))
+
+
+@pytest.mark.parametrize("op,value,expect", [
+    (CompareOp.EQ, 2, True), (CompareOp.NE, 2, False),
+    (CompareOp.LT, 3, True), (CompareOp.LE, 2, True),
+    (CompareOp.GT, 1, True), (CompareOp.GE, 3, False),
+])
+def test_comparison_ops(op, value, expect):
+    assert bind(Comparison("b", op, value))((1, 2, 3)) is expect
+
+
+def test_between_bounds():
+    assert bind(Between("b", 1, 3))((0, 1, 0))
+    assert not bind(Between("b", 1, 3))((0, 3, 0))
+    assert bind(Between("b", 1, 3, hi_inclusive=True))((0, 3, 0))
+    assert not bind(Between("b", 1, 3, lo_inclusive=False))((0, 1, 0))
+
+
+def test_in_list():
+    pred = bind(InList("a", (1, 5, 9)))
+    assert pred((5, 0, 0))
+    assert not pred((2, 0, 0))
+
+
+def test_and_or_not_composition():
+    pred = (Comparison("a", CompareOp.GT, 0)
+            & Comparison("b", CompareOp.LT, 10))
+    assert bind(pred)((1, 5, 0))
+    assert not bind(pred)((0, 5, 0))
+    disj = (Comparison("a", CompareOp.EQ, 1)
+            | Comparison("a", CompareOp.EQ, 2))
+    assert bind(disj)((2, 0, 0))
+    assert bind(Not(Comparison("a", CompareOp.EQ, 1)))((2, 0, 0))
+
+
+def test_string_match_kinds():
+    schema = Schema([*Schema.of_ints(["a"]).columns])
+    row = ("PROMO BRUSHED TIN",)
+
+    def match(kind, value):
+        from repro.storage.types import Column, ColumnType
+        s = Schema([Column("s", ColumnType.CHAR, 25)])
+        return StringMatch("s", kind, value).bind(s)(row)
+
+    assert match("prefix", "PROMO")
+    assert match("suffix", "TIN")
+    assert match("contains", "BRUSHED")
+    assert not match("prefix", "TIN")
+
+
+def test_string_match_bad_kind():
+    with pytest.raises(PlanningError):
+        StringMatch("s", "regex", "x")
+
+
+def test_column_comparison():
+    pred = bind(ColumnComparison("a", CompareOp.LT, "b"))
+    assert pred((1, 2, 0))
+    assert not pred((2, 1, 0))
+
+
+def test_key_range_contains():
+    rng = KeyRange(10, 20)
+    assert rng.contains(10) and rng.contains(19)
+    assert not rng.contains(20) and not rng.contains(9)
+    assert KeyRange.equal(5).contains(5)
+    assert KeyRange.all().contains(-999)
+    assert not KeyRange(10, 20, lo_inclusive=False).contains(10)
+    assert KeyRange(10, 20, hi_inclusive=True).contains(20)
+
+
+def test_key_range_intersect():
+    merged = KeyRange(0, 100).intersect(KeyRange(50, 200))
+    assert merged.lo == 50 and merged.hi == 100
+    point = KeyRange.equal(5).intersect(KeyRange(0, 10))
+    assert point.contains(5)
+
+
+def test_extract_range_comparison():
+    rng, residual = extract_range(Comparison("b", CompareOp.GE, 7), "b")
+    assert rng.lo == 7 and rng.lo_inclusive and rng.hi is None
+    assert isinstance(residual, TruePredicate)
+
+
+def test_extract_range_between():
+    rng, residual = extract_range(Between("b", 1, 9), "b")
+    assert (rng.lo, rng.hi) == (1, 9)
+    assert isinstance(residual, TruePredicate)
+
+
+def test_extract_range_wrong_column():
+    pred = Comparison("a", CompareOp.GE, 7)
+    rng, residual = extract_range(pred, "b")
+    assert rng is None
+    assert residual is pred
+
+
+def test_extract_range_conjunction_combines():
+    pred = And([
+        Comparison("b", CompareOp.GE, 5),
+        Comparison("b", CompareOp.LT, 10),
+        Comparison("a", CompareOp.EQ, 1),
+    ])
+    rng, residual = extract_range(pred, "b")
+    assert (rng.lo, rng.hi) == (5, 10)
+    assert "a" in residual.columns()
+    assert "b" not in residual.columns()
+
+
+def test_extract_range_ne_is_residual():
+    rng, residual = extract_range(Comparison("b", CompareOp.NE, 5), "b")
+    assert rng is None
+    assert residual.columns() == {"b"}
+
+
+def test_extract_range_or_is_opaque():
+    pred = Or([Comparison("b", CompareOp.EQ, 1),
+               Comparison("b", CompareOp.EQ, 2)])
+    rng, residual = extract_range(pred, "b")
+    assert rng is None
+    assert residual is pred
+
+
+def test_conjunction_simplifies():
+    assert isinstance(conjunction([]), TruePredicate)
+    single = Comparison("a", CompareOp.EQ, 1)
+    assert conjunction([TruePredicate(), single]) is single
+    multi = conjunction([single, Comparison("b", CompareOp.EQ, 2)])
+    assert isinstance(multi, And)
+
+
+def test_require_columns():
+    require_columns(SCHEMA, Comparison("a", CompareOp.EQ, 1))
+    with pytest.raises(PlanningError):
+        require_columns(SCHEMA, Comparison("z", CompareOp.EQ, 1))
+
+
+def test_column_getter():
+    get_b = column_getter(SCHEMA, "b")
+    assert get_b((1, 2, 3)) == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50),
+                       st.integers(0, 50)), max_size=100),
+    st.integers(0, 50), st.integers(0, 50), st.integers(0, 50),
+)
+def test_property_extract_range_equivalence(rows, lo, hi, other):
+    """Range + residual must accept exactly the rows the original does."""
+    pred = And([
+        Comparison("b", CompareOp.GE, lo),
+        Comparison("b", CompareOp.LT, hi),
+        Comparison("a", CompareOp.GE, other),
+    ])
+    rng, residual = extract_range(pred, "b")
+    bound_orig = pred.bind(SCHEMA)
+    bound_res = residual.bind(SCHEMA)
+    for row in rows:
+        recombined = rng.contains(row[1]) and bound_res(row)
+        assert recombined == bound_orig(row)

@@ -1,0 +1,143 @@
+"""Failure injection: the engine under hostile configurations.
+
+Every stressor here is a situation a production engine must survive:
+pathologically small buffers, one-page sort memory, tight result-cache
+limits mid-ordered-scan, string keys, and degenerate tables.
+"""
+
+import random
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.core.smooth_scan import SmoothScan
+from repro.core.trigger import OptimizerDrivenTrigger
+from repro.database import Database
+from repro.exec.expressions import Between, Comparison, CompareOp, KeyRange
+from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.sort import Sort
+from repro.exec.stats import measure
+from repro.storage.types import Column, ColumnType, Schema
+
+
+def build(config=None, rows=5_000, seed=3):
+    db = Database(config=config)
+    rng = random.Random(seed)
+    table = db.load_table(
+        "t", Schema.of_ints(["c1", "c2", "c3"]),
+        [(i, rng.randrange(1_000), rng.randrange(10)) for i in range(rows)],
+    )
+    db.create_index("t", "c2")
+    return db, table
+
+
+def test_one_page_buffer_pool_still_correct():
+    db, table = build(EngineConfig(buffer_pool_pages=1))
+    expected = sorted(measure(db, FullTableScan(
+        table, Between("c2", 0, 500))).rows)
+    for plan in (IndexScan(table, "c2", KeyRange(0, 500)),
+                 SortScan(table, "c2", KeyRange(0, 500)),
+                 SmoothScan(table, "c2", KeyRange(0, 500))):
+        assert sorted(measure(db, plan).rows) == expected
+
+
+def test_one_page_work_mem_sorts_correctly():
+    db, table = build(EngineConfig(work_mem_pages=1))
+    rows = measure(db, Sort(FullTableScan(table), ["c2"])).rows
+    keys = [r[1] for r in rows]
+    assert keys == sorted(keys)
+    assert len(rows) == table.row_count
+
+
+def test_tiny_result_cache_limit_under_ordered_scan():
+    db, table = build()
+    scan = SmoothScan(table, "c2", KeyRange(0, 1000), ordered=True,
+                      result_cache_memory_limit=500)
+    rows = measure(db, scan).rows
+    keys = [r[1] for r in rows]
+    assert keys == sorted(keys)
+    assert len(rows) == table.row_count
+    assert scan.last_stats.result_cache.spills > 0
+    assert scan.last_stats.result_cache.unspills > 0
+
+
+def test_tiny_result_cache_with_non_eager_trigger():
+    db, table = build()
+    scan = SmoothScan(table, "c2", KeyRange(0, 1000), ordered=True,
+                      trigger=OptimizerDrivenTrigger(25),
+                      result_cache_memory_limit=500)
+    rows = measure(db, scan).rows
+    ids = [r[0] for r in rows]
+    assert len(ids) == len(set(ids)) == table.row_count
+
+
+def test_single_row_table():
+    db = Database()
+    table = db.load_table("t", Schema.of_ints(["a", "b"]), [(1, 5)])
+    db.create_index("t", "b")
+    for plan in (FullTableScan(table),
+                 IndexScan(table, "b", KeyRange(0, 10)),
+                 SmoothScan(table, "b", KeyRange(0, 10))):
+        assert measure(db, plan).rows == [(1, 5)]
+
+
+def test_single_distinct_key_ordered_smooth():
+    """Result-cache partitioning degenerates to one partition."""
+    db = Database()
+    table = db.load_table("t", Schema.of_ints(["a", "b"]),
+                          [(i, 42) for i in range(3_000)])
+    db.create_index("t", "b")
+    scan = SmoothScan(table, "b", KeyRange.equal(42), ordered=True)
+    rows = measure(db, scan).rows
+    assert len(rows) == 3_000
+
+
+def test_string_keyed_index():
+    db = Database()
+    schema = Schema([Column("id", ColumnType.INT),
+                     Column("name", ColumnType.CHAR, 10)])
+    names = ["ant", "bee", "cat", "dog", "eel", "fox"]
+    table = db.load_table(
+        "t", schema, [(i, names[i % 6]) for i in range(1_200)]
+    )
+    db.create_index("t", "name")
+    scan = SmoothScan(table, "name", KeyRange("bee", "dog",
+                                              hi_inclusive=True))
+    rows = measure(db, scan).rows
+    assert len(rows) == 600  # bee, cat, dog
+    assert {r[1] for r in rows} == {"bee", "cat", "dog"}
+    ordered = SmoothScan(table, "name",
+                         KeyRange("ant", "fox", hi_inclusive=True),
+                         ordered=True)
+    keys = [r[1] for r in measure(db, ordered).rows]
+    assert keys == sorted(keys)
+
+
+def test_max_region_one_page_table():
+    db = Database()
+    table = db.load_table("t", Schema.of_ints(["a", "b"]),
+                          [(i, i) for i in range(50)])
+    db.create_index("t", "b")
+    scan = SmoothScan(table, "b", KeyRange.all())
+    assert len(measure(db, scan).rows) == 50
+    assert scan.last_stats.pages_fetched == 1
+
+
+def test_trigger_on_last_tuple():
+    """Morph exactly at the final qualifying tuple: nothing remains."""
+    db, table = build(rows=1_000)
+    total = measure(db, FullTableScan(
+        table, Between("c2", 0, 1000))).row_count
+    scan = SmoothScan(table, "c2", KeyRange(0, 1000),
+                      trigger=OptimizerDrivenTrigger(total - 1))
+    rows = measure(db, scan).rows
+    assert len(rows) == total
+
+
+def test_smooth_scan_region_larger_than_table():
+    db, table = build(rows=2_000)
+    scan = SmoothScan(table, "c2", KeyRange(0, 1000),
+                      max_region_pages=10_000)
+    rows = measure(db, scan).rows
+    assert len(rows) == 2_000
+    assert scan.last_stats.pages_fetched == table.num_pages

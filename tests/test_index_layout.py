@@ -1,0 +1,69 @@
+"""Eqs. (3)-(9): layout math, validated against the paper's numbers."""
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.index import layout
+
+
+def test_paper_micro_geometry():
+    # 400M 64-byte tuples, 8KB pages: the numbers quoted in Section VI.
+    tpp = layout.tuples_per_page(8192, 512, 64)
+    assert tpp == 120
+    assert layout.num_pages(400_000_000, tpp) == 3_333_334
+    f = layout.fanout(8192, 4)
+    assert f == 1706
+    leaves = layout.num_leaves(400_000_000, f)
+    assert leaves == 234_467
+    assert layout.height(leaves, f) == 3
+
+
+def test_tuples_per_page_errors():
+    with pytest.raises(BTreeError):
+        layout.tuples_per_page(8192, 512, 0)
+    with pytest.raises(BTreeError):
+        layout.tuples_per_page(8192, 8000, 500)
+
+
+def test_num_pages_rounds_up():
+    assert layout.num_pages(121, 120) == 2
+    assert layout.num_pages(120, 120) == 1
+    assert layout.num_pages(0, 120) == 0
+
+
+def test_fanout_includes_pointer_overhead():
+    # floor(8192 / (1.2 * 8)) = 853
+    assert layout.fanout(8192, 8) == 853
+    with pytest.raises(BTreeError):
+        layout.fanout(8192, 0)
+    with pytest.raises(BTreeError):
+        layout.fanout(10, 8)
+
+
+def test_height_edge_cases():
+    assert layout.height(0, 100) == 1
+    assert layout.height(1, 100) == 1
+    assert layout.height(2, 100) == 2
+    assert layout.height(100, 100) == 2
+    assert layout.height(101, 100) == 3
+
+
+def test_result_cardinality():
+    assert layout.result_cardinality(0.5, 100) == 50
+    assert layout.result_cardinality(0.0, 100) == 0
+    assert layout.result_cardinality(1.0, 100) == 100
+    with pytest.raises(BTreeError):
+        layout.result_cardinality(1.5, 100)
+
+
+def test_leaves_with_results():
+    assert layout.leaves_with_results(0, 100) == 0
+    assert layout.leaves_with_results(1, 100) == 1
+    assert layout.leaves_with_results(101, 100) == 2
+
+
+def test_level_sizes():
+    assert layout.level_sizes(1, 10) == [1]
+    assert layout.level_sizes(10, 10) == [10, 1]
+    assert layout.level_sizes(100, 10) == [100, 10, 1]
+    assert layout.level_sizes(0, 10) == [1]

@@ -1,0 +1,95 @@
+"""The §IV-B morphable join extension: INLJ morphing toward a hash join."""
+
+import random
+
+import pytest
+
+from repro.core.morph_join import MorphingIndexJoin
+from repro.exec.expressions import Comparison, CompareOp
+from repro.exec.joins import HashJoin, IndexNestedLoopJoin
+from repro.exec.scans import FullTableScan
+from repro.exec.stats import measure
+from repro.storage.types import Schema
+
+
+@pytest.fixture()
+def join_db(db):
+    rng = random.Random(77)
+    outer = db.load_table(
+        "outer_t", Schema.of_ints(["o_id", "o_key"]),
+        [(i, rng.randrange(40)) for i in range(2_000)],  # heavy key reuse
+    )
+    inner = db.load_table(
+        "inner_t", Schema.of_ints(["i_key", "i_val"]),
+        [((i * 11) % 40, i) for i in range(800)],
+    )
+    db.create_index("inner_t", "i_key")
+    return db, outer, inner
+
+
+def test_results_match_hash_join(join_db):
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "i_key", "o_key")
+    hj = HashJoin(FullTableScan(outer), FullTableScan(inner),
+                  ["o_key"], ["i_key"])
+    assert sorted(measure(db, morph).rows) == sorted(measure(db, hj).rows)
+
+
+def test_results_match_classic_inlj(join_db):
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "i_key", "o_key")
+    inlj = IndexNestedLoopJoin(FullTableScan(outer), inner,
+                               "i_key", "o_key")
+    assert sorted(measure(db, morph).rows) == \
+        sorted(measure(db, inlj).rows)
+
+
+def test_morphs_toward_hash_join(join_db):
+    """With 40 distinct keys and 2000 outer rows, the index is consulted
+    at most once per key — everything else is a cache hit."""
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "i_key", "o_key")
+    measure(db, morph)
+    stats = morph.last_stats
+    assert stats.index_probes <= 40
+    assert stats.cache_hits >= 2_000 - 40
+    assert stats.cache_hit_rate > 0.9
+
+
+def test_inner_pages_fetched_at_most_once(join_db):
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "i_key", "o_key")
+    measure(db, morph)
+    assert morph.last_stats.pages_fetched <= inner.num_pages
+
+
+def test_cheaper_than_classic_inlj_with_key_reuse(join_db):
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "i_key", "o_key")
+    inlj = IndexNestedLoopJoin(FullTableScan(outer), inner,
+                               "i_key", "o_key")
+    morph_t = measure(db, morph).total_ms
+    inlj_t = measure(db, inlj).total_ms
+    assert morph_t < inlj_t
+
+
+def test_residual_applied(join_db):
+    db, outer, inner = join_db
+    morph = MorphingIndexJoin(
+        FullTableScan(outer), inner, "i_key", "o_key",
+        residual=Comparison("i_val", CompareOp.GE, 400),
+    )
+    rows = measure(db, morph).rows
+    assert rows and all(r[3] >= 400 for r in rows)
+
+
+def test_unmatched_outer_keys(db):
+    outer = db.load_table("o", Schema.of_ints(["ok"]), [(99,), (1,)])
+    inner = db.load_table("i", Schema.of_ints(["ik", "iv"]), [(1, 10)])
+    db.create_index("i", "ik")
+    morph = MorphingIndexJoin(FullTableScan(outer), inner, "ik", "ok")
+    rows = measure(db, morph).rows
+    assert rows == [(1, 1, 10)]
+    # The unmatched key is remembered as complete: probing it again later
+    # would be a cache hit, not an index descent.
+    assert morph.last_stats.index_probes == 2

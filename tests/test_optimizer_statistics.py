@@ -1,0 +1,110 @@
+"""Histograms, the statistics catalog, and staleness injection."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.optimizer.statistics import ColumnStats, Histogram, StatisticsCatalog
+from repro.storage.types import Schema
+
+
+@pytest.fixture()
+def analyzed(db):
+    table = db.load_table(
+        "t", Schema.of_ints(["a", "b"]),
+        [(i, i % 100) for i in range(10_000)],
+    )
+    catalog = StatisticsCatalog()
+    catalog.analyze(table)
+    return db, table, catalog
+
+
+def test_histogram_uniform_range_fraction():
+    hist = Histogram(lo=0.0, hi=100.0, counts=[10] * 100)
+    assert hist.range_fraction(0, 50) == pytest.approx(0.5, abs=0.02)
+    assert hist.range_fraction(25, 75) == pytest.approx(0.5, abs=0.02)
+    assert hist.range_fraction(None, None) == pytest.approx(1.0)
+    assert hist.range_fraction(200, 300) == 0.0
+    assert hist.range_fraction(-50, -10) == 0.0
+
+
+def test_histogram_empty_and_degenerate():
+    assert Histogram(0.0, 1.0, []).range_fraction(0, 1) == 0.0
+    point = Histogram(5.0, 5.0, [10])
+    assert point.range_fraction(0, 10) == 1.0
+
+
+def test_histogram_skew_detected():
+    counts = [1000] + [1] * 99
+    hist = Histogram(lo=0.0, hi=100.0, counts=counts)
+    assert hist.range_fraction(0, 1) > 0.8
+    assert hist.range_fraction(50, 100) < 0.1
+
+
+def test_analyze_collects_all_columns(analyzed):
+    _db, table, catalog = analyzed
+    stats = catalog.table_stats("t")
+    assert stats.row_count == 10_000
+    assert set(stats.columns) == {"a", "b"}
+    b = stats.columns["b"]
+    assert b.min_value == 0 and b.max_value == 99
+    assert b.ndv == 100
+    assert b.equality_fraction() == pytest.approx(0.01)
+
+
+def test_analyze_specific_columns(db):
+    table = db.load_table("t", Schema.of_ints(["a", "b"]), [(1, 2)])
+    catalog = StatisticsCatalog()
+    catalog.analyze(table, columns=["b"])
+    assert catalog.column_stats("t", "a") is None
+    assert catalog.column_stats("t", "b") is not None
+
+
+def test_unknown_table_raises(analyzed):
+    *_rest, catalog = analyzed
+    with pytest.raises(StatisticsError):
+        catalog.table_stats("missing")
+    assert catalog.column_stats("missing", "a") is None
+
+
+def test_sampling_approximates(db):
+    table = db.load_table("t", Schema.of_ints(["a"]),
+                          [(i % 50,) for i in range(20_000)])
+    catalog = StatisticsCatalog(seed=3)
+    stats = catalog.analyze(table, sample_rate=0.1)
+    hist = stats.columns["a"].histogram
+    assert hist.range_fraction(0, 25) == pytest.approx(0.5, abs=0.05)
+
+
+def test_sample_rate_validation(analyzed):
+    db, table, catalog = analyzed
+    with pytest.raises(StatisticsError):
+        catalog.analyze(table, sample_rate=0.0)
+    with pytest.raises(StatisticsError):
+        catalog.analyze(table, prefix_fraction=1.5)
+
+
+def test_prefix_analysis_misses_recent_values(db):
+    # Chronological load: the second half carries values 100..199.
+    rows = [(i,) for i in range(100)] + [(100 + i,) for i in range(100)]
+    table = db.load_table("t", Schema.of_ints(["a"]), rows)
+    catalog = StatisticsCatalog()
+    stats = catalog.analyze(table, prefix_fraction=0.5)
+    assert stats.row_count == 100
+    hist = stats.columns["a"].histogram
+    assert hist.hi <= 99
+    assert hist.range_fraction(150, 200) == 0.0  # invisible future
+
+
+def test_scale_row_count(analyzed):
+    _db, _table, catalog = analyzed
+    catalog.scale_row_count("t", 0.1)
+    assert catalog.table_stats("t").row_count == 1_000
+
+
+def test_override_and_forget(analyzed):
+    _db, _table, catalog = analyzed
+    catalog.override_column("t", "b", ColumnStats(
+        column="b", row_count=10, min_value=0, max_value=1, ndv=2))
+    assert catalog.column_stats("t", "b").ndv == 2
+    catalog.forget("t")
+    assert not catalog.has_table("t")

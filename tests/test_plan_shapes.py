@@ -1,0 +1,76 @@
+"""Structural assertions on the TPC-H plans each mode produces.
+
+Figures 1/4 are only meaningful if the modes actually differ in plan
+*structure*: original must stay on full scans + hash joins, tuned must
+walk into index paths/INLJ where the stale estimates point, and smooth
+must replace exactly the access paths while keeping the upper layers.
+"""
+
+import pytest
+
+from repro.exec.iterator import explain
+from repro.experiments.fig1 import make_tuned_tpch
+from repro.workloads.tpch import TpchPlanBuilder, build_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_tuned_tpch(scale_factor=0.002)
+
+
+def plan_text(setup, mode, query):
+    builder = TpchPlanBuilder(setup.db, setup.catalog, mode)
+    return explain(build_query(query, builder))
+
+
+def test_original_mode_uses_only_full_scans(setup):
+    for query in ("Q1", "Q6", "Q12", "Q14", "Q19"):
+        text = plan_text(setup, "original", query)
+        assert "IndexScan" not in text
+        assert "SmoothScan" not in text
+        assert "IndexNestedLoopJoin" not in text
+        assert "FullTableScan" in text
+
+
+def test_tuned_mode_falls_into_the_traps(setup):
+    # Q6/Q12: the stale-stats date ranges push the planner onto the
+    # lineitem tuning indexes.
+    q6 = plan_text(setup, "tuned", "Q6")
+    assert "IndexScan(lineitem" in q6 or "SortScan(lineitem" in q6
+    q12 = plan_text(setup, "tuned", "Q12")
+    assert "IndexScan(lineitem" in q12 or "SortScan(lineitem" in q12
+    # Q1 (98%): no trap — the full scan stays.
+    assert "FullTableScan(lineitem)" in plan_text(setup, "tuned", "Q1")
+
+
+def test_smooth_mode_replaces_access_paths_only(setup):
+    q6 = plan_text(setup, "smooth", "Q6")
+    assert "SmoothScan(lineitem" in q6
+    assert "IndexScan" not in q6
+    # The aggregation layer above is identical in shape.
+    tuned_top = plan_text(setup, "tuned", "Q6").splitlines()[0]
+    smooth_top = q6.splitlines()[0]
+    assert tuned_top == smooth_top
+
+
+def test_smooth_mode_inlj_uses_smooth_inner(setup):
+    q12 = plan_text(setup, "smooth", "Q12")
+    if "IndexNestedLoopJoin" in q12:
+        assert "smooth" in q12  # the inner access is the smooth variant
+
+
+def test_q19_join_direction(setup):
+    """Q19 probes lineitem from the filtered part side in tuned mode."""
+    q19 = plan_text(setup, "tuned", "Q19")
+    assert "lineitem" in q19
+    assert "part" in q19
+
+
+def test_plans_are_trees_with_scans_at_leaves(setup):
+    for query in ("Q3", "Q5", "Q10"):
+        text = plan_text(setup, "tuned", query)
+        lines = text.splitlines()
+        assert lines[0].startswith("-> ")
+        assert any("Scan" in line for line in lines)
+        # Deeper lines are indented more (a well-formed tree).
+        assert any(line.startswith("  ") for line in lines[1:])

@@ -1,0 +1,110 @@
+"""Buffer pool LRU semantics, hit/miss charging, and cold runs."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskProfile, SimClock, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.types import Schema
+
+
+@pytest.fixture()
+def setup():
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    pool = BufferPool(disk=disk, capacity_pages=4)
+    heap = HeapFile(file_id=0, schema=Schema.of_ints(["a"]),
+                    tuples_per_page=2)
+    for i in range(40):
+        heap.append((i,))
+    return disk, pool, heap
+
+
+def test_miss_then_hit(setup):
+    disk, pool, heap = setup
+    pool.get_page(heap, 3)
+    assert pool.stats.misses == 1
+    pool.get_page(heap, 3)
+    assert pool.stats.hits == 1
+    assert disk.stats.pages_read == 1  # second access served from memory
+
+
+def test_hit_charges_only_cpu(setup):
+    disk, pool, heap = setup
+    pool.get_page(heap, 0)
+    io_before = disk.clock.io_ms
+    pool.get_page(heap, 0)
+    assert disk.clock.io_ms == io_before
+    assert disk.clock.cpu_ms > 0
+
+
+def test_lru_eviction(setup):
+    disk, pool, heap = setup
+    for pid in range(5):  # capacity 4 -> page 0 evicted
+        pool.get_page(heap, pid)
+    assert not pool.contains(heap, 0)
+    assert pool.contains(heap, 4)
+    pool.get_page(heap, 0)
+    assert pool.stats.misses == 6
+
+
+def test_lru_touch_refreshes(setup):
+    disk, pool, heap = setup
+    for pid in range(4):
+        pool.get_page(heap, pid)
+    pool.get_page(heap, 0)     # refresh page 0
+    pool.get_page(heap, 9)     # evicts page 1, not 0
+    assert pool.contains(heap, 0)
+    assert not pool.contains(heap, 1)
+
+
+def test_get_run_batches_misses(setup):
+    disk, pool, heap = setup
+    pages = pool.get_run(heap, 0, 4)
+    assert [p.page_id for p in pages] == [0, 1, 2, 3]
+    assert disk.stats.requests == 1
+    assert disk.stats.pages_read == 4
+
+
+def test_get_run_skips_resident_pages(setup):
+    disk, pool, heap = setup
+    pool.get_page(heap, 1)
+    disk.reset()
+    pool.get_run(heap, 0, 3)
+    # Page 1 was resident: only pages 0 and 2 hit the disk.
+    assert disk.stats.pages_read == 2
+
+
+def test_get_run_clips_at_end_of_file(setup):
+    disk, pool, heap = setup
+    pages = pool.get_run(heap, 18, 10)
+    assert [p.page_id for p in pages] == [18, 19]
+
+
+def test_get_run_empty(setup):
+    _disk, pool, heap = setup
+    assert pool.get_run(heap, 0, 0) == []
+
+
+def test_reset_evicts_everything(setup):
+    disk, pool, heap = setup
+    pool.get_page(heap, 0)
+    pool.reset()
+    assert len(pool) == 0
+    assert pool.stats.misses == 0
+    pool.get_page(heap, 0)
+    assert pool.stats.misses == 1
+
+
+def test_capacity_must_be_positive():
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    with pytest.raises(StorageError):
+        BufferPool(disk=disk, capacity_pages=0)
+
+
+def test_hit_rate(setup):
+    _disk, pool, heap = setup
+    pool.get_page(heap, 0)
+    pool.get_page(heap, 0)
+    pool.get_page(heap, 0)
+    assert pool.stats.hit_rate == pytest.approx(2 / 3)

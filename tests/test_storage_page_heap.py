@@ -1,0 +1,83 @@
+"""Heap pages and heap files."""
+
+import pytest
+
+from repro.errors import PageFullError, StorageError, UnknownPageError
+from repro.storage.heap import HeapFile
+from repro.storage.page import HeapPage
+from repro.storage.types import Schema, TID
+
+
+def test_page_insert_and_get():
+    page = HeapPage(page_id=0, capacity=3)
+    assert page.insert((1,)) == 0
+    assert page.insert((2,)) == 1
+    assert page.get(1) == (2,)
+    assert len(page) == 2
+    assert not page.is_full
+
+
+def test_page_full_raises():
+    page = HeapPage(page_id=0, capacity=1)
+    page.insert((1,))
+    assert page.is_full
+    with pytest.raises(PageFullError):
+        page.insert((2,))
+
+
+def test_page_bad_slot():
+    page = HeapPage(page_id=0, capacity=2)
+    page.insert((1,))
+    with pytest.raises(StorageError):
+        page.get(1)
+
+
+def test_page_rejects_zero_capacity():
+    with pytest.raises(StorageError):
+        HeapPage(page_id=0, capacity=0)
+
+
+@pytest.fixture()
+def heap():
+    return HeapFile(file_id=0, schema=Schema.of_ints(["a"]),
+                    tuples_per_page=4)
+
+
+def test_heap_append_assigns_sequential_tids(heap):
+    tids = [heap.append((i,)) for i in range(10)]
+    assert tids[0] == TID(0, 0)
+    assert tids[4] == TID(1, 0)
+    assert tids[9] == TID(2, 1)
+    assert heap.num_pages == 3
+    assert heap.row_count == 10
+
+
+def test_heap_fetch_roundtrip(heap):
+    tid = heap.append((42,))
+    assert heap.fetch(tid) == (42,)
+
+
+def test_heap_page_bounds(heap):
+    heap.append((1,))
+    with pytest.raises(UnknownPageError):
+        heap.page(5)
+
+
+def test_heap_validates_arity(heap):
+    with pytest.raises(StorageError):
+        heap.append((1, 2))
+
+
+def test_heap_iter_rows_in_physical_order(heap):
+    for i in range(9):
+        heap.append((i,))
+    rows = list(heap.iter_rows())
+    assert [r for _t, r in rows] == [(i,) for i in range(9)]
+    assert rows[0][0] == TID(0, 0)
+    assert rows[-1][0] == TID(2, 0)
+
+
+def test_heap_iter_pages_order(heap):
+    for i in range(6):
+        heap.append((i,))
+    assert [p.page_id for p in heap.iter_pages()] == [0, 1]

@@ -1,0 +1,68 @@
+"""Schemas, columns, TIDs."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.types import TID, Column, ColumnType, Schema
+
+
+def test_column_sizes():
+    assert Column("a", ColumnType.INT).byte_size == 4
+    assert Column("a", ColumnType.BIGINT).byte_size == 8
+    assert Column("a", ColumnType.FLOAT).byte_size == 8
+    assert Column("a", ColumnType.DATE).byte_size == 4
+    assert Column("a", ColumnType.CHAR, 25).byte_size == 25
+
+
+def test_char_requires_length():
+    with pytest.raises(StorageError):
+        Column("a", ColumnType.CHAR).byte_size
+
+
+def test_schema_of_ints_and_payload():
+    schema = Schema.of_ints(["a", "b", "c"])
+    assert schema.payload_bytes() == 12
+    assert schema.tuple_size(tuple_header=24) == 36
+
+
+def test_micro_tuple_is_64_bytes():
+    schema = Schema.of_ints([f"c{i}" for i in range(1, 11)])
+    assert schema.tuple_size(tuple_header=24) == 64
+
+
+def test_schema_rejects_empty_and_duplicates():
+    with pytest.raises(StorageError):
+        Schema([])
+    with pytest.raises(StorageError):
+        Schema([Column("x"), Column("x")])
+
+
+def test_index_of_and_has_column():
+    schema = Schema.of_ints(["a", "b"])
+    assert schema.index_of("b") == 1
+    assert schema.has_column("a")
+    assert not schema.has_column("z")
+    with pytest.raises(StorageError):
+        schema.index_of("z")
+
+
+def test_validate_row_arity():
+    schema = Schema.of_ints(["a", "b"])
+    schema.validate_row((1, 2))
+    with pytest.raises(StorageError):
+        schema.validate_row((1, 2, 3))
+
+
+def test_schema_equality_and_hash():
+    s1 = Schema.of_ints(["a", "b"])
+    s2 = Schema.of_ints(["a", "b"])
+    assert s1 == s2
+    assert hash(s1) == hash(s2)
+
+
+def test_tid_orders_by_physical_placement():
+    assert TID(0, 5) < TID(1, 0)
+    assert TID(2, 1) < TID(2, 3)
+    assert sorted([TID(3, 0), TID(0, 7), TID(0, 2)]) == [
+        TID(0, 2), TID(0, 7), TID(3, 0)
+    ]

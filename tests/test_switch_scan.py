@@ -1,0 +1,78 @@
+"""SwitchScan: binary adaptation, its cliff, and its worst-case bound."""
+
+import pytest
+
+from repro.core.switch_scan import SwitchScan
+from repro.exec.expressions import Between, KeyRange
+from repro.exec.scans import FullTableScan, IndexScan
+from repro.exec.stats import measure
+
+
+def test_no_switch_below_threshold(small_table):
+    db, table = small_table
+    scan = SwitchScan(table, "c2", KeyRange(0, 10), threshold=10_000)
+    rows = measure(db, scan).rows
+    assert not scan.switched
+    expected = measure(db, IndexScan(table, "c2", KeyRange(0, 10))).rows
+    assert sorted(rows) == sorted(expected)
+
+
+def test_switch_produces_exact_results(small_table):
+    db, table = small_table
+    scan = SwitchScan(table, "c2", KeyRange(0, 500), threshold=50)
+    rows = measure(db, scan).rows
+    assert scan.switched
+    expected = measure(
+        db, FullTableScan(table, Between("c2", 0, 500))
+    ).rows
+    assert sorted(rows) == sorted(expected)
+    assert len(rows) == len(set(rows))  # the Tuple ID cache prevents dups
+
+
+def test_threshold_zero_switches_immediately(small_table):
+    db, table = small_table
+    scan = SwitchScan(table, "c2", KeyRange(0, 500), threshold=0)
+    rows = measure(db, scan).rows
+    assert scan.switched
+    assert sorted(rows) == sorted(
+        measure(db, FullTableScan(table, Between("c2", 0, 500))).rows
+    )
+
+
+def test_negative_threshold_rejected(small_table):
+    _db, table = small_table
+    with pytest.raises(ValueError):
+        SwitchScan(table, "c2", KeyRange(0, 10), threshold=-1)
+
+
+def test_performance_cliff_at_threshold(small_table):
+    """Crossing the threshold adds a full scan's worth of time at once."""
+    db, table = small_table
+    threshold = 40
+    # Just below: stays an index scan.
+    below = measure(db, SwitchScan(table, "c2", KeyRange(0, 7),
+                                   threshold=threshold))
+    # Just above: index work + a whole full scan.
+    above = measure(db, SwitchScan(table, "c2", KeyRange(0, 12),
+                                   threshold=threshold))
+    full = measure(db, FullTableScan(table, Between("c2", 0, 12)))
+    # The switch adds roughly one full scan's worth of time at once (the
+    # post-switch scan runs on a warm buffer, so allow half a cold scan).
+    assert above.total_ms > full.total_ms
+    assert above.total_ms > below.total_ms + 0.5 * full.total_ms
+
+
+def test_bounded_worst_case(small_table):
+    """After switching, total cost ≈ index-to-threshold + one full scan."""
+    db, table = small_table
+    switch = measure(db, SwitchScan(table, "c2", KeyRange(0, 1000),
+                                    threshold=20))
+    index_only = measure(db, IndexScan(table, "c2", KeyRange(0, 1000)))
+    assert switch.total_ms < index_only.total_ms  # never as bad as IS
+
+
+def test_switch_empty_range(small_table):
+    db, table = small_table
+    scan = SwitchScan(table, "c2", KeyRange(5000, 6000), threshold=5)
+    assert measure(db, scan).rows == []
+    assert not scan.switched
