@@ -71,8 +71,12 @@ class PageIdCache:
         return self._bitmap.get(page_id)
 
     def mark(self, page_id: int) -> bool:
-        """Record the page as processed; True if it was new."""
-        if not 0 <= page_id < max(1, self.num_pages):
+        """Record the page as processed; True if it was new.
+
+        Every mark on a zero-page table is out of bounds — there is no
+        page 0 to process.
+        """
+        if not 0 <= page_id < self.num_pages:
             raise ExecutionError(
                 f"page id {page_id} outside table of {self.num_pages} pages"
             )
@@ -125,6 +129,10 @@ class ResultCacheStats:
     evicted_entries: int = 0
     spills: int = 0
     unspills: int = 0
+    #: Overflow pages written by spills / read back by unspills — the two
+    #: halves of the cache's disk traffic, accounted separately.
+    spill_pages_written: int = 0
+    unspill_pages_read: int = 0
     peak_entries: int = 0
     peak_bytes: int = 0
 
@@ -157,6 +165,10 @@ class ResultCache:
         self._partitions: list[dict[TID, Row]] = [{} for _ in range(n_parts)]
         self._spilled: list[dict[TID, Row] | None] = [None] * n_parts
         self._entries = 0
+        #: Lowest partition the probe key has not yet passed; everything
+        #: below it is known-evicted, so :meth:`advance` is O(1) per call
+        #: when no new separator is crossed.
+        self._min_live = 0
         self.stats = ResultCacheStats()
 
     # -- partition helpers -------------------------------------------------
@@ -187,8 +199,20 @@ class ResultCache:
     # -- operations --------------------------------------------------------
 
     def insert(self, key: object, tid: TID, row: Row, disk=None) -> None:
-        """Park a qualifying tuple until its index probe arrives."""
+        """Park a qualifying tuple until its index probe arrives.
+
+        ``key`` must not lie below a separator the probe has already
+        passed (:meth:`advance` is monotone): such a tuple's probe is
+        gone, so parking it could only leak.  Smooth Scan's index-order
+        probing guarantees this; other callers get a loud error instead
+        of a silent leak.
+        """
         i = self.partition_of(key)
+        if i < self._min_live:
+            raise ExecutionError(
+                f"insert of key {key!r} into partition {i}, below the "
+                f"already-advanced probe position {self._min_live}"
+            )
         if self._spilled[i] is not None:
             self._spilled[i][tid] = row
         else:
@@ -221,19 +245,29 @@ class ResultCache:
     def advance(self, key: object) -> int:
         """Bulk-evict all partitions entirely below ``key``.
 
-        Returns the number of evicted entries.  Partition ``j`` covers keys
-        below ``separators[j]``; it is passed once ``key >= separators[j]``.
+        Returns the number of evicted entries, spilled ones included —
+        dropping a partition's overflow file evicts its entries just as
+        surely as clearing its in-memory dict.  Partition ``j`` covers
+        keys below ``separators[j]``; it is passed once
+        ``key >= separators[j]``.  Scanning starts at the lowest live
+        partition, so the common no-new-separator-crossed probe costs one
+        comparison instead of a walk over every separator.
         """
         evicted = 0
-        for j, sep in enumerate(self.separators):
-            if key < sep:
-                break
-            if self._partitions[j]:
-                evicted += len(self._partitions[j])
-                self._entries -= len(self._partitions[j])
+        j = self._min_live
+        separators = self.separators
+        while j < len(separators) and key >= separators[j]:
+            part = self._partitions[j]
+            if part:
+                evicted += len(part)
+                self._entries -= len(part)
                 self._partitions[j] = {}
-            if self._spilled[j]:
+            spilled = self._spilled[j]
+            if spilled is not None:
+                evicted += len(spilled)
                 self._spilled[j] = None
+            j += 1
+        self._min_live = j
         self.stats.evicted_entries += evicted
         return evicted
 
@@ -254,22 +288,31 @@ class ResultCache:
             return
         j = candidates[0]
         part = self._partitions[j]
+        pages = self._partition_pages(part)
         if disk is not None:
-            disk.spill(self._partition_pages(part))
+            disk.overflow_write(pages)
         self._spilled[j] = part
         self._entries -= len(part)
         self._partitions[j] = {}
         self.stats.spills += 1
+        self.stats.spill_pages_written += pages
 
     def _unspill(self, i: int, disk) -> None:
-        """Read a spilled partition back from its overflow file."""
+        """Read a spilled partition back from its overflow file.
+
+        Charges a sequential *read* of the partition's pages — the write
+        was already paid when the partition spilled; reading it back must
+        not charge the write-plus-read cost of a fresh spill.
+        """
         part = self._spilled[i]
         if part is None:
             return
+        pages = self._partition_pages(part)
         if disk is not None:
-            disk.spill(self._partition_pages(part))
+            disk.overflow_read(pages)
         self._spilled[i] = None
         for tid, row in part.items():
             self._partitions[i][tid] = row
             self._entries += 1
         self.stats.unspills += 1
+        self.stats.unspill_pages_read += pages

@@ -28,7 +28,7 @@ from typing import Iterator
 from repro.context import ExecutionContext
 from repro.core.caches import PageIdCache
 from repro.exec.expressions import Predicate, TruePredicate
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, Operator
 from repro.exec.joins import _joined_schema
 from repro.storage.table import Table
 from repro.storage.types import Row
@@ -127,3 +127,64 @@ class MorphingIndexJoin(Operator):
                     stats.emitted += 1
                     ctx.charge_emit()
                     yield joined
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Probe the morphing cache one outer batch at a time."""
+        heap = self.inner_table.heap
+        stats = MorphJoinStats()
+        self.last_stats = stats
+        matches = self.residual.bind(self.schema)
+        key_pos = self.inner_key_pos
+        opos = self.outer_pos
+
+        tuple_cache: dict[object, list[Row]] = {}
+        page_cache = PageIdCache(heap.num_pages)
+        complete_keys: set[object] = set()
+        cache_get = tuple_cache.get
+        is_seen = page_cache.is_seen
+
+        for obatch in self.outer.batches(ctx):
+            stats.outer_rows += len(obatch)
+            ctx.charge_cache_probe(len(obatch))
+            out: list[Row] = []
+            for orow in obatch:
+                key = orow[opos]
+                if key in complete_keys:
+                    stats.cache_hits += 1
+                    inner_rows = cache_get(key, ())
+                else:
+                    # Index consulted only for not-yet-complete keys.
+                    stats.index_probes += 1
+                    for tid in self.index.lookup(ctx, key):
+                        if not is_seen(tid.page_id):
+                            self._absorb_page(
+                                ctx, ctx.get_page(heap, tid.page_id),
+                                tuple_cache, page_cache, key_pos, stats,
+                            )
+                    complete_keys.add(key)
+                    inner_rows = cache_get(key, ())
+                if not inner_rows:
+                    continue
+                ctx.charge_inspect(len(inner_rows))
+                for irow in inner_rows:
+                    joined = orow + irow
+                    if matches(joined):
+                        stats.emitted += 1
+                        ctx.charge_emit()
+                        out.append(joined)
+            if out:
+                yield out
+
+    @staticmethod
+    def _absorb_page(ctx: ExecutionContext, page, tuple_cache: dict,
+                     page_cache: PageIdCache, key_pos: int,
+                     stats: MorphJoinStats) -> None:
+        """Cache every tuple of a fetched inner page (the morph)."""
+        page_cache.mark(page.page_id)
+        stats.pages_fetched += 1
+        rows = page.all_rows()
+        ctx.charge_inspect(len(rows))
+        ctx.charge_cache_insert(len(rows))
+        setdefault = tuple_cache.setdefault
+        for row in rows:
+            setdefault(row[key_pos], []).append(row)

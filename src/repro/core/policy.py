@@ -96,15 +96,20 @@ class ElasticPolicy(MorphPolicy):
         return max(1, region // 2)
 
 
-def policy_by_name(name: str) -> MorphPolicy:
-    """Look up a policy by its display name."""
+def policy_by_name(name: str, strict: bool = False) -> MorphPolicy:
+    """Look up a policy by its display name.
+
+    ``strict`` is passed through to the policy, selecting the literal
+    ``>`` reading of the Eq. (1)/(2) comparison instead of the default
+    ``>=`` (see the module docstring for why ``>=`` is the default).
+    """
     policies: dict[str, type[MorphPolicy]] = {
         GreedyPolicy.name: GreedyPolicy,
         SelectivityIncreasePolicy.name: SelectivityIncreasePolicy,
         ElasticPolicy.name: ElasticPolicy,
     }
     try:
-        return policies[name]()
+        return policies[name](strict=strict)
     except KeyError:
         raise ValueError(
             f"unknown policy {name!r}; pick from {sorted(policies)}"

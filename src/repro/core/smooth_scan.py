@@ -20,10 +20,22 @@ The operator never consults optimizer statistics — its only inputs are an
 index, a key range and a residual predicate.  With ``ordered=True`` it
 emits in strict index-key order (usable under ORDER BY / merge joins),
 otherwise tuples stream out as pages are processed.
+
+Both execution protocols are implemented natively.  :meth:`SmoothScan.rows`
+is the paper's tuple-at-a-time pipeline; :meth:`SmoothScan.batches` is the
+batch-vectorized engine — index entries arrive one leaf at a time
+(:meth:`~repro.index.btree.BTreeIndex.scan_batches`), morphing-region runs
+are probed whole and their output accumulated into batches flushed at the
+batch-size threshold, and page probing compiles the key range and residual
+predicate into selection lists instead of calling a closure per tuple.
+Run as a single operator, the two paths produce identical rows in
+identical order and charge identical simulated costs; only real (Python)
+execution time differs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.context import ExecutionContext
@@ -36,13 +48,28 @@ from repro.exec.expressions import (
     KeyRange,
     Predicate,
     TruePredicate,
+    range_filter,
+    range_selector,
     require_columns,
 )
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
 
 _DEFAULT_RESULT_CACHE_PARTITIONS = 16
+
+
+@dataclass
+class _RunState:
+    """Per-execution state shared by the row and batch paths."""
+
+    stats: SmoothScanStats
+    page_cache: PageIdCache
+    tuple_cache: TupleIdCache | None
+    result_cache: ResultCache | None
+    policy: MorphPolicy
+    max_region: int
+    col_pos: int
 
 
 class SmoothScan(Operator):
@@ -99,16 +126,15 @@ class SmoothScan(Operator):
             f"{'ordered' if self.ordered else 'unordered'})"
         )
 
-    # -- execution ---------------------------------------------------------
+    # -- shared setup ------------------------------------------------------
 
-    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+    def _prepare(self, ctx: ExecutionContext) -> _RunState:
+        """Build the caches, stats and policy state for one execution."""
         heap = self.table.heap
         stats = SmoothScanStats()
         self.last_stats = stats
 
         col_pos = self.schema.index_of(self.column)
-        residual_fn = self.residual.bind(self.schema)
-        in_range = self.key_range.contains
 
         page_cache = PageIdCache(heap.num_pages)
         stats.page_cache_bytes = page_cache.memory_bytes
@@ -134,10 +160,35 @@ class SmoothScan(Operator):
             )
             stats.result_cache = result_cache.stats
 
-        policy = self.policy
         max_region = self.max_region_pages or ctx.config.max_region_pages
         if self.max_mode == 1:
             max_region = 1
+        return _RunState(
+            stats=stats,
+            page_cache=page_cache,
+            tuple_cache=tuple_cache,
+            result_cache=result_cache,
+            policy=self.policy,
+            max_region=max_region,
+            col_pos=col_pos,
+        )
+
+    # -- tuple-at-a-time execution ----------------------------------------
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        heap = self.table.heap
+        state = self._prepare(ctx)
+        stats = state.stats
+        page_cache = state.page_cache
+        tuple_cache = state.tuple_cache
+        result_cache = state.result_cache
+        policy = state.policy
+        max_region = state.max_region
+        col_pos = state.col_pos
+
+        residual_fn = self.residual.bind(self.schema)
+        in_range = self.key_range.contains
+
         region = policy.initial_region()
         mode0_active = not self.trigger.eager
         pages_res_global = 0
@@ -192,7 +243,6 @@ class SmoothScan(Operator):
             start = tid.page_id
             end = min(heap.num_pages, start + region)
             region_pages = 0
-            region_pages_res = 0
             run_start: int | None = None
             for pid in range(start, end):
                 if page_cache.is_seen(pid):
@@ -269,3 +319,243 @@ class SmoothScan(Operator):
                     result_cache.insert(key, t, row, disk=ctx.disk)
             if page_has_result:
                 stats.pages_with_results += 1
+
+    # -- batch-vectorized execution ----------------------------------------
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        heap = self.table.heap
+        state = self._prepare(ctx)
+        stats = state.stats
+        page_cache = state.page_cache
+        tuple_cache = state.tuple_cache
+        result_cache = state.result_cache
+        policy = state.policy
+        max_region = state.max_region
+        col_pos = state.col_pos
+
+        residual_fn = self.residual.bind(self.schema)
+        qualify = range_selector(self.key_range, col_pos)
+        residual_sel = (
+            None if isinstance(self.residual, TruePredicate)
+            else self.residual.bind_batch(self.schema)
+        )
+        # With no auxiliary cache consuming TIDs (eager + unordered, the
+        # common case) page probing needs no slot positions — use the
+        # gather-free rows filter instead of selection lists.
+        fast_filter = None
+        if state.tuple_cache is None and state.result_cache is None:
+            qualify_rows = range_filter(self.key_range, col_pos)
+            if isinstance(self.residual, TruePredicate):
+                fast_filter = qualify_rows
+            else:
+                residual_rows = self.residual.bind_filter(self.schema)
+                fast_filter = (
+                    lambda rows: residual_rows(qualify_rows(rows))
+                )
+
+        region = policy.initial_region()
+        mode0_active = not self.trigger.eager
+        pages_res_global = 0
+        pages_seen_smooth = 0
+        num_pages = heap.num_pages
+        is_seen = page_cache.is_seen
+
+        pending: list[Row] = []
+        # Hot-loop bookkeeping kept in locals: the probe ordinal and the
+        # per-batch count of Page-ID-cache probes (charged in bulk per
+        # leaf batch).  Invariant: ``stats.probes = probes`` must run
+        # immediately before every yield — a generator can only be
+        # abandoned while suspended at a yield, so this keeps reported
+        # internals current even under early termination (e.g. Limit).
+        probes = 0
+        rng = self.key_range
+        for keys, tids in self.index.scan_batches(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            page_checks = 0
+            for j in range(len(keys)):
+                tid = tids[j]
+                probes += 1
+
+                # ---- Mode 0: per-probe random fetches until the trigger
+                # fires; inherently tuple-at-a-time.
+                if mode0_active:
+                    page = ctx.get_page(heap, tid.page_id)
+                    stats.mode0_page_fetches += 1
+                    ctx.charge_inspect()
+                    row = page.get(tid.slot)
+                    if residual_fn(row):
+                        stats.mode0_tuples += 1
+                        stats.produced += 1
+                        assert tuple_cache is not None
+                        tuple_cache.add(tid)
+                        ctx.charge_cache_insert()
+                        ctx.charge_emit()
+                        pending.append(row)
+                        if len(pending) >= DEFAULT_BATCH_SIZE:
+                            stats.probes = probes
+                            yield pending
+                            pending = []
+                    if self.trigger.should_morph(stats.produced):
+                        mode0_active = False
+                        stats.morphed_at = stats.produced
+                        override = self.trigger.post_morph_policy()
+                        if override is not None:
+                            policy = override
+                    continue
+
+                # ---- Smooth modes: Result Cache first (ordered only) ...
+                if result_cache is not None:
+                    key = keys[j]
+                    result_cache.advance(key)
+                    ctx.charge_cache_probe()
+                    cached = result_cache.take(key, tid, disk=ctx.disk)
+                    if cached is not None:
+                        stats.produced += 1
+                        ctx.charge_emit()
+                        pending.append(cached)
+                        if len(pending) >= DEFAULT_BATCH_SIZE:
+                            stats.probes = probes
+                            yield pending
+                            pending = []
+                        continue
+
+                # ---- ... then the Page ID cache check.
+                page_checks += 1
+                if is_seen(tid.page_id):
+                    continue
+
+                # ---- Fetch and process the morphing region, emitting each
+                # contiguous run of unseen pages as one whole batch.
+                start = tid.page_id
+                end = min(num_pages, start + region)
+                region_pages = 0
+                run_start: int | None = None
+                for pid in range(start, end):
+                    if is_seen(pid):
+                        if run_start is not None:
+                            pending = self._emit_run(
+                                ctx, heap, run_start, pid - run_start,
+                                state, qualify, residual_sel,
+                                fast_filter, tid, pending,
+                            )
+                            if len(pending) >= DEFAULT_BATCH_SIZE:
+                                stats.probes = probes
+                                yield pending
+                                pending = []
+                            region_pages += pid - run_start
+                            run_start = None
+                        continue
+                    if run_start is None:
+                        run_start = pid
+                if run_start is not None:
+                    pending = self._emit_run(
+                        ctx, heap, run_start, end - run_start,
+                        state, qualify, residual_sel,
+                        fast_filter, tid, pending,
+                    )
+                    region_pages += end - run_start
+                if len(pending) >= DEFAULT_BATCH_SIZE:
+                    stats.probes = probes
+                    yield pending
+                    pending = []
+
+                region_pages_res = stats.pages_with_results - pages_res_global
+                pages_res_global = stats.pages_with_results
+                pages_seen_smooth += region_pages
+
+                # ---- Policy update (Eqs. (1) and (2)).
+                if region_pages > 0 and pages_seen_smooth > 0:
+                    local_sel = region_pages_res / region_pages
+                    global_sel = pages_res_global / pages_seen_smooth
+                    region = min(
+                        max_region,
+                        max(1, policy.next_region(
+                            region, local_sel, global_sel)),
+                    )
+                    stats.probes = probes
+                    stats.region_trace.append((probes, region))
+                    if region > stats.max_region_used:
+                        stats.max_region_used = region
+            if page_checks:
+                ctx.charge_cache_probe(page_checks)
+
+        stats.probes = probes
+        if pending:
+            yield pending
+
+    def _emit_run(self, ctx: ExecutionContext, heap, run_start: int,
+                  run_len: int, state: _RunState, qualify, residual_sel,
+                  fast_filter, probe_tid: TID,
+                  out: list[Row]) -> list[Row]:
+        """Vectorized run probe: append the run's output rows to ``out``.
+
+        Fetches one contiguous run of unseen pages, filters each whole
+        page through the compiled key-range/residual selectors, and
+        appends produced rows (parking the rest in the Result Cache when
+        an order must be preserved).  With ``fast_filter`` set (no
+        auxiliary cache consumes TIDs) the gather-free rows filter runs
+        instead of selection lists.  Charges exactly what the row path's
+        ``_process_run`` charges.
+        """
+        stats = state.stats
+        page_cache = state.page_cache
+        tuple_cache = state.tuple_cache
+        result_cache = state.result_cache
+        col_pos = state.col_pos
+        probe_page, probe_slot = probe_tid
+
+        if fast_filter is not None:
+            mark = page_cache.mark
+            for page in ctx.get_run(heap, run_start, run_len):
+                mark(page.page_id)
+                ctx.charge_cache_insert()
+                stats.pages_fetched += 1
+                rows = page.all_rows()
+                ctx.charge_inspect(len(rows))
+                matched = fast_filter(rows)
+                if matched:
+                    stats.pages_with_results += 1
+                    stats.produced += len(matched)
+                    ctx.charge_emit(len(matched))
+                    out += matched
+            return out
+
+        for page in ctx.get_run(heap, run_start, run_len):
+            pid = page.page_id
+            page_cache.mark(pid)
+            ctx.charge_cache_insert()
+            stats.pages_fetched += 1
+            rows = page.all_rows()
+            ctx.charge_inspect(len(rows))
+            sel = qualify(rows)
+            if sel and residual_sel is not None:
+                sel = residual_sel(rows, sel)
+            if not sel:
+                continue
+            stats.pages_with_results += 1
+            if tuple_cache is not None:
+                # Fig. 7b's post-morph overhead: a produced-tuple check
+                # for every qualifying tuple found by Smooth Scan.
+                ctx.charge_cache_probe(len(sel))
+                contains = tuple_cache.contains
+                sel = [i for i in sel if not contains(TID(pid, i))]
+                if not sel:
+                    continue
+            if result_cache is None:
+                stats.produced += len(sel)
+                ctx.charge_emit(len(sel))
+                out += [rows[i] for i in sel]
+            else:
+                insert = result_cache.insert
+                for i in sel:
+                    if pid == probe_page and i == probe_slot:
+                        stats.produced += 1
+                        ctx.charge_emit()
+                        out.append(rows[i])
+                    else:
+                        row = rows[i]
+                        ctx.charge_cache_insert()
+                        insert(row[col_pos], TID(pid, i), row, disk=ctx.disk)
+        return out

@@ -19,9 +19,10 @@ from repro.exec.expressions import (
     KeyRange,
     Predicate,
     TruePredicate,
+    range_selector,
     require_columns,
 )
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
 
@@ -105,3 +106,68 @@ class SwitchScan(Operator):
                         continue
                     ctx.charge_emit()
                     yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Batch path: per-probe phase 1, vectorized full-scan phase 2."""
+        heap = self.table.heap
+        self.switched = False
+        residual_fn = self.residual.bind(self.schema)
+        col_pos = self.schema.index_of(self.column)
+        qualify = range_selector(self.key_range, col_pos)
+        residual_sel = (
+            None if isinstance(self.residual, TruePredicate)
+            else self.residual.bind_batch(self.schema)
+        )
+        produced_tids = TupleIdCache(heap.num_pages, heap.tuples_per_page)
+        produced = 0
+
+        # Phase 1: classical index scan, monitoring actual cardinality.
+        # Random per-TID heap fetches dominate here, so the tuple-at-a-time
+        # index scan is kept — it also charges identically to rows() when
+        # the switch fires mid-leaf.
+        pending: list[Row] = []
+        rng = self.key_range
+        for _key, tid in self.index.scan(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            page = ctx.get_page(heap, tid.page_id)
+            ctx.charge_inspect()
+            row = page.get(tid.slot)
+            if residual_fn(row):
+                produced += 1
+                produced_tids.add(tid)
+                ctx.charge_cache_insert()
+                ctx.charge_emit()
+                pending.append(row)
+                if len(pending) >= DEFAULT_BATCH_SIZE:
+                    yield pending
+                    pending = []
+            if produced > self.threshold:
+                self.switched = True
+                break
+        if pending:
+            yield pending
+        if not self.switched:
+            return
+
+        # Phase 2: restart as a full scan, skipping already-produced TIDs.
+        contains = produced_tids.contains
+        extent = ctx.config.extent_pages
+        for start in range(0, heap.num_pages, extent):
+            n = min(extent, heap.num_pages - start)
+            batch: list[Row] = []
+            for page in ctx.get_run(heap, start, n):
+                pid = page.page_id
+                rows = page.all_rows()
+                ctx.charge_inspect(len(rows))
+                sel = qualify(rows)
+                if sel and residual_sel is not None:
+                    sel = residual_sel(rows, sel)
+                if not sel:
+                    continue
+                ctx.charge_cache_probe(len(sel))
+                batch += [rows[i] for i in sel if not contains(TID(pid, i))]
+            if batch:
+                ctx.charge_emit(len(batch))
+                yield batch

@@ -15,8 +15,14 @@ from repro.exec.expressions import (
     column_getter,
     conjunction,
     extract_range,
+    range_selector,
 )
-from repro.exec.iterator import Operator, explain
+from repro.exec.iterator import (
+    Batch,
+    DEFAULT_BATCH_SIZE,
+    Operator,
+    explain,
+)
 from repro.exec.joins import (
     HashJoin,
     IndexNestedLoopJoin,
@@ -31,7 +37,9 @@ from repro.exec.stats import RunResult, measure
 __all__ = [
     "AggSpec",
     "And",
+    "Batch",
     "Between",
+    "DEFAULT_BATCH_SIZE",
     "Comparison",
     "CompareOp",
     "Filter",
@@ -53,6 +61,7 @@ __all__ = [
     "Predicate",
     "Project",
     "RunResult",
+    "range_selector",
     "Sort",
     "SortScan",
     "TruePredicate",

@@ -13,7 +13,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.types import Column, ColumnType, Row, Schema
 
 _SUPPORTED = ("sum", "count", "avg", "min", "max")
@@ -132,6 +132,29 @@ class HashAggregate(Operator):
                 groups[key] = accs
             for acc, getter in zip(accs, self._getters):
                 acc.add(getter(row) if getter is not None else 1)
+        yield from self._results(ctx, groups)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        groups: dict[tuple, list[_Accumulator]] = {}
+        gpos = self._group_positions
+        getters = self._getters
+        for batch in self.child.batches(ctx):
+            ctx.charge_hash(len(batch))
+            for row in batch:
+                key = tuple(row[p] for p in gpos)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [_Accumulator(s.func) for s in self.aggs]
+                    groups[key] = accs
+                for acc, getter in zip(accs, getters):
+                    acc.add(getter(row) if getter is not None else 1)
+        out = list(self._results(ctx, groups))
+        for start in range(0, len(out), DEFAULT_BATCH_SIZE):
+            yield out[start:start + DEFAULT_BATCH_SIZE]
+
+    def _results(self, ctx: ExecutionContext,
+                 groups: dict[tuple, list[_Accumulator]]) -> Iterator[Row]:
+        """Finalize accumulators into output rows, charging emission."""
         if not groups and not self.group_by:
             # Scalar aggregates emit one row even on empty input.
             groups[()] = [_Accumulator(s.func) for s in self.aggs]

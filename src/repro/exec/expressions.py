@@ -2,7 +2,11 @@
 
 Predicates are small composable objects that *bind* against a schema into a
 plain ``row -> bool`` closure, so per-row evaluation never does name
-lookups.  :func:`extract_range` splits a predicate into the key range an
+lookups.  For batch-vectorized execution they additionally compile via
+:meth:`Predicate.bind_batch` into a *selector*: a function over a list of
+rows (plus an optional candidate selection) returning the list of indices
+of qualifying rows, so one call filters a whole heap page or morphing
+region.  :func:`extract_range` splits a predicate into the key range an
 index can serve plus the residual part that must be re-checked per tuple —
 the contract between the planner and every index-driven access path
 (classical, Sort, Switch and Smooth Scan alike).
@@ -20,6 +24,14 @@ from repro.errors import PlanningError
 from repro.storage.types import Row, Schema
 
 RowPredicate = Callable[[Row], bool]
+
+#: ``(rows, candidate_indices | None) -> selected_indices``.  ``None``
+#: candidates mean "all of ``rows``"; the result is always ascending.
+BatchPredicate = Callable[..., "list[int]"]
+
+#: ``rows -> qualifying rows`` (order-preserving); the gather-free batch
+#: form used when slot positions are not needed downstream.
+RowsFilter = Callable[[Sequence[Row]], "list[Row]"]
 
 
 class CompareOp(enum.Enum):
@@ -52,6 +64,35 @@ class Predicate(ABC):
     def bind(self, schema: Schema) -> RowPredicate:
         """Compile to a ``row -> bool`` closure for ``schema``."""
 
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        """Compile to a vectorized selector over a list of rows.
+
+        The selector takes ``(rows, sel=None)`` where ``sel`` is an
+        optional ascending list of candidate indices (``None`` meaning all
+        rows) and returns the ascending list of indices whose rows
+        satisfy the predicate.  The default implementation wraps
+        :meth:`bind`; leaf predicates override it with inlined loops.
+        """
+        fn = self.bind(schema)
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows) if fn(row)]
+            return [i for i in sel if fn(rows[i])]
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        """Compile to a ``rows -> qualifying rows`` batch filter.
+
+        The gather-free sibling of :meth:`bind_batch` for consumers that
+        do not need slot positions: one pass, no index list.  Leaf
+        predicates specialize this with native chained comparisons, the
+        fastest per-tuple test pure Python offers.
+        """
+        fn = self.bind(schema)
+        return lambda rows: [row for row in rows if fn(row)]
+
     @abstractmethod
     def columns(self) -> set[str]:
         """Names of all columns the predicate references."""
@@ -68,6 +109,15 @@ class TruePredicate(Predicate):
 
     def bind(self, schema: Schema) -> RowPredicate:
         return lambda row: True
+
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            return list(range(len(rows))) if sel is None else list(sel)
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        return lambda rows: rows  # type: ignore[return-value]
 
     def columns(self) -> set[str]:
         return set()
@@ -89,6 +139,35 @@ class Comparison(Predicate):
         fn = self.op.fn
         value = self.value
         return lambda row: fn(row[idx], value)
+
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        idx = schema.index_of(self.column)
+        fn = self.op.fn
+        value = self.value
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows) if fn(row[idx], value)]
+            return [i for i in sel if fn(rows[i][idx], value)]
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        # Native comparison bytecode per variant — no callable per tuple.
+        idx = schema.index_of(self.column)
+        v = self.value
+        op = self.op
+        if op is CompareOp.EQ:
+            return lambda rows: [r for r in rows if r[idx] == v]
+        if op is CompareOp.NE:
+            return lambda rows: [r for r in rows if r[idx] != v]
+        if op is CompareOp.LT:
+            return lambda rows: [r for r in rows if r[idx] < v]
+        if op is CompareOp.LE:
+            return lambda rows: [r for r in rows if r[idx] <= v]
+        if op is CompareOp.GT:
+            return lambda rows: [r for r in rows if r[idx] > v]
+        return lambda rows: [r for r in rows if r[idx] >= v]
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -114,6 +193,37 @@ class Between(Predicate):
         hi_ok = operator.le if self.hi_inclusive else operator.lt
         return lambda row: lo_ok(row[idx], lo) and hi_ok(row[idx], hi)
 
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        idx = schema.index_of(self.column)
+        lo, hi = self.lo, self.hi
+        lo_ok = operator.ge if self.lo_inclusive else operator.gt
+        hi_ok = operator.le if self.hi_inclusive else operator.lt
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [
+                    i for i, row in enumerate(rows)
+                    if lo_ok(row[idx], lo) and hi_ok(row[idx], hi)
+                ]
+            return [
+                i for i in sel
+                if lo_ok(rows[i][idx], lo) and hi_ok(rows[i][idx], hi)
+            ]
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        # Native chained comparisons per inclusivity variant.
+        idx = schema.index_of(self.column)
+        lo, hi = self.lo, self.hi
+        if self.lo_inclusive:
+            if self.hi_inclusive:
+                return lambda rows: [r for r in rows if lo <= r[idx] <= hi]
+            return lambda rows: [r for r in rows if lo <= r[idx] < hi]
+        if self.hi_inclusive:
+            return lambda rows: [r for r in rows if lo < r[idx] <= hi]
+        return lambda rows: [r for r in rows if lo < r[idx] < hi]
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -135,6 +245,22 @@ class InList(Predicate):
         values = frozenset(self.values)
         return lambda row: row[idx] in values
 
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        idx = schema.index_of(self.column)
+        values = frozenset(self.values)
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows) if row[idx] in values]
+            return [i for i in sel if rows[i][idx] in values]
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        idx = schema.index_of(self.column)
+        values = frozenset(self.values)
+        return lambda rows: [r for r in rows if r[idx] in values]
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -148,6 +274,30 @@ class And(Predicate):
     def bind(self, schema: Schema) -> RowPredicate:
         bound = [p.bind(schema) for p in self.parts]
         return lambda row: all(f(row) for f in bound)
+
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        bound = [p.bind_batch(schema) for p in self.parts]
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            for f in bound:
+                sel = f(rows, sel)
+                if not sel:
+                    return []
+            return list(range(len(rows))) if sel is None else sel
+
+        return select
+
+    def bind_filter(self, schema: Schema) -> RowsFilter:
+        bound = [p.bind_filter(schema) for p in self.parts]
+
+        def filter_rows(rows: Sequence[Row]) -> list[Row]:
+            for f in bound:
+                rows = f(rows)
+                if not rows:
+                    break
+            return rows if isinstance(rows, list) else list(rows)
+
+        return filter_rows
 
     def columns(self) -> set[str]:
         return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
@@ -166,6 +316,25 @@ class Or(Predicate):
         bound = [p.bind(schema) for p in self.parts]
         return lambda row: any(f(row) for f in bound)
 
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        bound = [p.bind_batch(schema) for p in self.parts]
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            remaining = list(range(len(rows))) if sel is None else list(sel)
+            matched: list[int] = []
+            for f in bound:
+                if not remaining:
+                    break
+                hits = f(rows, remaining)
+                if hits:
+                    matched.extend(hits)
+                    hit_set = set(hits)
+                    remaining = [i for i in remaining if i not in hit_set]
+            matched.sort()
+            return matched
+
+        return select
+
     def columns(self) -> set[str]:
         return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
 
@@ -182,6 +351,16 @@ class Not(Predicate):
     def bind(self, schema: Schema) -> RowPredicate:
         bound = self.part.bind(schema)
         return lambda row: not bound(row)
+
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        bound = self.part.bind_batch(schema)
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            candidates = range(len(rows)) if sel is None else sel
+            hit_set = set(bound(rows, sel))
+            return [i for i in candidates if i not in hit_set]
+
+        return select
 
     def columns(self) -> set[str]:
         return self.part.columns()
@@ -246,6 +425,18 @@ class ColumnComparison(Predicate):
         fn = self.op.fn
         return lambda row: fn(row[li], row[ri])
 
+    def bind_batch(self, schema: Schema) -> BatchPredicate:
+        li = schema.index_of(self.left)
+        ri = schema.index_of(self.right)
+        fn = self.op.fn
+
+        def select(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows) if fn(row[li], row[ri])]
+            return [i for i in sel if fn(rows[i][li], rows[i][ri])]
+
+        return select
+
     def columns(self) -> set[str]:
         return {self.left, self.right}
 
@@ -302,6 +493,96 @@ class KeyRange:
                 other.hi == hi and not other.hi_inclusive)):
             hi, hi_inc = other.hi, other.hi_inclusive
         return KeyRange(lo, hi, lo_inc, hi_inc)
+
+
+def range_selector(rng: KeyRange, col_pos: int) -> BatchPredicate:
+    """Compile ``rng`` into a vectorized selector on column ``col_pos``.
+
+    The returned function takes ``(rows, sel=None)`` and returns the
+    ascending indices of rows whose key at ``col_pos`` lies inside the
+    range — the batch counterpart of ``rng.contains(row[col_pos])``, with
+    the bound checks specialized once instead of re-tested per tuple.
+    """
+    lo, hi = rng.lo, rng.hi
+    lo_ok = operator.ge if rng.lo_inclusive else operator.gt
+    hi_ok = operator.le if rng.hi_inclusive else operator.lt
+
+    if lo is None and hi is None:
+        def select_all(rows: Sequence[Row], sel=None) -> list[int]:
+            return list(range(len(rows))) if sel is None else list(sel)
+        return select_all
+
+    if lo is None:
+        def select_hi(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows)
+                        if hi_ok(row[col_pos], hi)]
+            return [i for i in sel if hi_ok(rows[i][col_pos], hi)]
+        return select_hi
+
+    if hi is None:
+        def select_lo(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows)
+                        if lo_ok(row[col_pos], lo)]
+            return [i for i in sel if lo_ok(rows[i][col_pos], lo)]
+        return select_lo
+
+    # Both bounds: native chained comparisons per inclusivity variant.
+    if rng.lo_inclusive and not rng.hi_inclusive:
+        def select_incl_excl(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows)
+                        if lo <= row[col_pos] < hi]
+            return [i for i in sel if lo <= rows[i][col_pos] < hi]
+        return select_incl_excl
+
+    if rng.lo_inclusive and rng.hi_inclusive:
+        def select_incl_incl(rows: Sequence[Row], sel=None) -> list[int]:
+            if sel is None:
+                return [i for i, row in enumerate(rows)
+                        if lo <= row[col_pos] <= hi]
+            return [i for i in sel if lo <= rows[i][col_pos] <= hi]
+        return select_incl_incl
+
+    def select_both(rows: Sequence[Row], sel=None) -> list[int]:
+        if sel is None:
+            return [
+                i for i, row in enumerate(rows)
+                if lo_ok(row[col_pos], lo) and hi_ok(row[col_pos], hi)
+            ]
+        return [
+            i for i in sel
+            if lo_ok(rows[i][col_pos], lo) and hi_ok(rows[i][col_pos], hi)
+        ]
+    return select_both
+
+
+def range_filter(rng: KeyRange, col_pos: int) -> RowsFilter:
+    """Compile ``rng`` into a gather-free ``rows -> qualifying rows`` filter.
+
+    The :func:`range_selector` sibling for consumers that do not need slot
+    positions (e.g. an unordered eager Smooth Scan, where no auxiliary
+    cache consumes TIDs): one pass with native chained comparisons.
+    """
+    lo, hi = rng.lo, rng.hi
+    if lo is None and hi is None:
+        return lambda rows: rows  # type: ignore[return-value]
+    if lo is None:
+        if rng.hi_inclusive:
+            return lambda rows: [r for r in rows if r[col_pos] <= hi]
+        return lambda rows: [r for r in rows if r[col_pos] < hi]
+    if hi is None:
+        if rng.lo_inclusive:
+            return lambda rows: [r for r in rows if r[col_pos] >= lo]
+        return lambda rows: [r for r in rows if r[col_pos] > lo]
+    if rng.lo_inclusive:
+        if rng.hi_inclusive:
+            return lambda rows: [r for r in rows if lo <= r[col_pos] <= hi]
+        return lambda rows: [r for r in rows if lo <= r[col_pos] < hi]
+    if rng.hi_inclusive:
+        return lambda rows: [r for r in rows if lo < r[col_pos] <= hi]
+    return lambda rows: [r for r in rows if lo < r[col_pos] < hi]
 
 
 def _range_of_comparison(cmp: Comparison) -> KeyRange | None:

@@ -15,7 +15,7 @@ from typing import Iterator, Sequence
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
 from repro.exec.expressions import Predicate, TruePredicate
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, Operator
 from repro.storage.table import Table
 from repro.storage.types import Row, Schema
 
@@ -69,11 +69,7 @@ class HashJoin(Operator):
         return f"HashJoin({self.join_type})"
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
-        table: dict[tuple, list[Row]] = {}
-        rpos = self.right_positions
-        for row in self.right.rows(ctx):
-            ctx.charge_hash()
-            table.setdefault(tuple(row[p] for p in rpos), []).append(row)
+        table = self._build(ctx)
         lpos = self.left_positions
         pad = (None,) * len(self.right.schema)
         for row in self.left.rows(ctx):
@@ -99,6 +95,48 @@ class HashJoin(Operator):
                 if not matches:
                     ctx.charge_emit()
                     yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Probe the hash table one left batch at a time."""
+        table = self._build(ctx)
+        lpos = self.left_positions
+        pad = (None,) * len(self.right.schema)
+        join_type = self.join_type
+        get = table.get
+        for batch in self.left.batches(ctx):
+            ctx.charge_hash(len(batch))
+            out: list[Row] = []
+            if join_type == "inner":
+                for row in batch:
+                    matches = get(tuple(row[p] for p in lpos))
+                    if matches:
+                        out += [row + match for match in matches]
+            elif join_type == "left":
+                for row in batch:
+                    matches = get(tuple(row[p] for p in lpos))
+                    if matches:
+                        out += [row + match for match in matches]
+                    else:
+                        out.append(row + pad)
+            elif join_type == "semi":
+                out = [row for row in batch
+                       if get(tuple(row[p] for p in lpos))]
+            else:  # anti
+                out = [row for row in batch
+                       if not get(tuple(row[p] for p in lpos))]
+            if out:
+                ctx.charge_emit(len(out))
+                yield out
+
+    def _build(self, ctx: ExecutionContext) -> dict[tuple, list[Row]]:
+        """Materialize the right child into the join hash table."""
+        table: dict[tuple, list[Row]] = {}
+        rpos = self.right_positions
+        for batch in self.right.batches(ctx):
+            ctx.charge_hash(len(batch))
+            for row in batch:
+                table.setdefault(tuple(row[p] for p in rpos), []).append(row)
+        return table
 
 
 class MergeJoin(Operator):
@@ -177,6 +215,26 @@ class NestedLoopJoin(Operator):
                     ctx.charge_emit()
                     yield joined
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Join one left batch against the materialized inner per step.
+
+        Pairs are tested left-row-at-a-time so memory stays proportional
+        to the *matching* output, never the raw cross product.
+        """
+        inner = [row for batch in self.right.batches(ctx) for row in batch]
+        matches = self.predicate.bind(self.schema)
+        for batch in self.left.batches(ctx):
+            ctx.charge_inspect(len(batch) * len(inner))
+            out = [
+                joined
+                for lrow in batch
+                for rrow in inner
+                if matches(joined := lrow + rrow)
+            ]
+            if out:
+                ctx.charge_emit(len(out))
+                yield out
+
 
 class IndexNestedLoopJoin(Operator):
     """INLJ: probe an index on the inner table for each outer row.
@@ -236,6 +294,36 @@ class IndexNestedLoopJoin(Operator):
                     if matches(joined):
                         ctx.charge_emit()
                         yield joined
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Probe the inner index one outer batch at a time."""
+        matches = self.residual.bind(self.schema)
+        heap = self.inner_table.heap
+        opos = self.outer_pos
+        inner_key_pos = self.inner_table.schema.index_of(self.inner_column)
+        smooth = self.inner_access == "smooth"
+        for batch in self.outer.batches(ctx):
+            out: list[Row] = []
+            for orow in batch:
+                key = orow[opos]
+                tids = list(self.index.lookup(ctx, key))
+                if not tids:
+                    continue
+                if smooth and len(tids) > 1:
+                    out.extend(self._probe_smooth(
+                        ctx, heap, orow, key, tids, inner_key_pos, matches
+                    ))
+                else:
+                    for tid in tids:
+                        page = ctx.get_page(heap, tid.page_id)
+                        ctx.charge_inspect()
+                        irow = page.get(tid.slot)
+                        joined = orow + irow
+                        if matches(joined):
+                            ctx.charge_emit()
+                            out.append(joined)
+            if out:
+                yield out
 
     def _probe_smooth(self, ctx: ExecutionContext, heap, orow: Row,
                       key: object, tids, inner_key_pos: int,

@@ -1,4 +1,9 @@
-"""Small plumbing operators: Filter, Project, MapProject, Limit, Materialize."""
+"""Small plumbing operators: Filter, Project, MapProject, Limit, Materialize.
+
+Each implements both execution protocols: the classic ``rows()`` pipeline
+and a vectorized ``batches()`` path that consumes child batches whole,
+applying compiled selection lists / list comprehensions per batch.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +12,7 @@ from typing import Callable, Iterator, Sequence
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
 from repro.exec.expressions import Predicate, require_columns
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.types import Column, Row, Schema
 
 
@@ -33,6 +38,14 @@ class Filter(Operator):
             if matches(row):
                 yield row
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        filter_rows = self.predicate.bind_filter(self.schema)
+        for batch in self.child.batches(ctx):
+            ctx.charge_inspect(len(batch))
+            kept = filter_rows(batch)
+            if kept:
+                yield kept
+
 
 class Project(Operator):
     """Keep a subset of columns, in the given order."""
@@ -56,6 +69,11 @@ class Project(Operator):
         positions = self._positions
         for row in self.child.rows(ctx):
             yield tuple(row[p] for p in positions)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        positions = self._positions
+        for batch in self.child.batches(ctx):
+            yield [tuple(row[p] for p in positions) for row in batch]
 
 
 class MapProject(Operator):
@@ -81,6 +99,15 @@ class MapProject(Operator):
             self.schema.validate_row(out)
             yield out
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        fn = self.fn
+        validate = self.schema.validate_row
+        for batch in self.child.batches(ctx):
+            out = [fn(row) for row in batch]
+            for row in out:
+                validate(row)
+            yield out
+
 
 class Rename(Operator):
     """Rename columns (aliasing for self-joins); values pass through."""
@@ -102,6 +129,9 @@ class Rename(Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         return self.child.rows(ctx)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        return self.child.batches(ctx)
 
 
 class Limit(Operator):
@@ -130,6 +160,17 @@ class Limit(Operator):
             if emitted >= self.n:
                 return
 
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        remaining = self.n
+        if remaining == 0:
+            return
+        for batch in self.child.batches(ctx):
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
+
 
 class Materialize(Operator):
     """Run the child once, cache its output, replay it on re-execution.
@@ -148,10 +189,26 @@ class Materialize(Operator):
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         if self._cache is None:
-            self._cache = list(self.child.rows(ctx))
+            self._cache = [
+                row for batch in self.child.batches(ctx) for row in batch
+            ]
         else:
             ctx.charge_emit(len(self._cache))
         yield from self._cache
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        if self._cache is None:
+            # Materialize fully before yielding (like rows() does) so a
+            # partially drained first run — e.g. under a Limit — still
+            # leaves a complete cache for re-execution.
+            self._cache = [
+                row for batch in self.child.batches(ctx) for row in batch
+            ]
+        else:
+            ctx.charge_emit(len(self._cache))
+        cache = self._cache
+        for start in range(0, len(cache), DEFAULT_BATCH_SIZE):
+            yield cache[start:start + DEFAULT_BATCH_SIZE]
 
     def invalidate(self) -> None:
         """Drop the cache (e.g. between measured runs)."""

@@ -23,7 +23,7 @@ from repro.exec.expressions import (
     TruePredicate,
     require_columns,
 )
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, Operator
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
 
@@ -52,6 +52,22 @@ class FullTableScan(Operator):
                     if matches(row):
                         ctx.charge_emit()
                         yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Vectorized scan: one batch per extent run of heap pages."""
+        heap = self.table.heap
+        filter_rows = self.predicate.bind_filter(self.schema)
+        extent = ctx.config.extent_pages
+        for start in range(0, heap.num_pages, extent):
+            n = min(extent, heap.num_pages - start)
+            batch: list[Row] = []
+            for page in ctx.get_run(heap, start, n):
+                rows = page.all_rows()
+                ctx.charge_inspect(len(rows))
+                batch += filter_rows(rows)
+            if batch:
+                ctx.charge_emit(len(batch))
+                yield batch
 
 
 class IndexScan(Operator):
@@ -150,6 +166,44 @@ class SortScan(Operator):
                     if matches(row):
                         ctx.charge_emit()
                         yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Vectorized bitmap heap scan: one batch per near-sequential run."""
+        heap = self.table.heap
+        filter_rows = self.residual.bind_filter(self.schema)
+        rng = self.key_range
+
+        # Phase 1: collect qualifying TIDs leaf-batch-wise, sort by page.
+        tids: list[TID] = []
+        for _keys, tid_chunk in self.index.scan_batches(
+            ctx, lo=rng.lo, hi=rng.hi,
+            lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
+        ):
+            tids += tid_chunk
+        if not tids:
+            return
+        tids.sort()
+        ctx.charge_compare(_nlogn(len(tids)))
+
+        # Phase 2: per fetched page, filter the slotted candidates in bulk.
+        pages: dict[int, list[int]] = {}
+        for tid in tids:
+            pages.setdefault(tid.page_id, []).append(tid.slot)
+        page_ids = sorted(pages)
+        for run_start, run_len in _contiguous_runs(page_ids):
+            batch: list[Row] = []
+            for page in ctx.get_run(heap, run_start, run_len):
+                slots = pages[page.page_id]
+                ctx.charge_inspect(len(slots))
+                all_rows = page.all_rows()
+                if len(slots) == len(all_rows):
+                    candidates = all_rows  # every slot qualifies the range
+                else:
+                    candidates = [all_rows[slot] for slot in slots]
+                batch += filter_rows(candidates)
+            if batch:
+                ctx.charge_emit(len(batch))
+                yield batch
 
 
 def _contiguous_runs(page_ids: list[int]) -> Iterator[tuple[int, int]]:

@@ -14,7 +14,7 @@ from typing import Iterator, Sequence
 
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.types import Row
 
 
@@ -44,7 +44,16 @@ class Sort(Operator):
         return f"Sort({order})"
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
-        data = list(self.child.rows(ctx))
+        yield from self._sorted(ctx, list(self.child.rows(ctx)))
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        data = [row for batch in self.child.batches(ctx) for row in batch]
+        data = self._sorted(ctx, data)
+        for start in range(0, len(data), DEFAULT_BATCH_SIZE):
+            yield data[start:start + DEFAULT_BATCH_SIZE]
+
+    def _sorted(self, ctx: ExecutionContext, data: list[Row]) -> list[Row]:
+        """Sort the materialized input in place, charging compare + spill."""
         n = len(data)
         if n > 1:
             # Stable multi-key sort: apply keys last-to-first.
@@ -53,7 +62,7 @@ class Sort(Operator):
                 data.sort(key=lambda row: row[idx], reverse=not ascending)
             ctx.charge_compare(n * max(1, (n - 1).bit_length()))
             self._charge_spill(ctx, n)
-        yield from data
+        return data
 
     def _charge_spill(self, ctx: ExecutionContext, n_rows: int) -> None:
         """Charge external-sort I/O when the input exceeds work_mem."""

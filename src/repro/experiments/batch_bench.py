@@ -1,0 +1,143 @@
+"""Row vs. batch execution throughput on the Figure-5 selectivity sweep.
+
+The reproduction's perf guardrail for the batch-vectorized engine: run the
+fig5 micro-benchmark plans (Full, Sort and Smooth Scan, with and without
+the 100% point) and drain each twice — once through the tuple-at-a-time
+``rows()`` pipeline, once through the vectorized ``batches()`` protocol —
+measuring *real* wall-clock time.  Simulated costs are identical by
+construction (the batch engine charges exactly what the row engine does);
+what this experiment records is the Python-side overhead the paper's
+Section IV attributes to per-tuple bookkeeping, which batching amortizes
+over whole pages and morphing-region runs.
+
+Reported per plan: produced tuples, row/batch wall seconds, throughput in
+ktuples/s for both paths and the speedup ratio; plus an overall row whose
+speedup is computed from total tuples over total time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.experiments.common import (
+    DEFAULT_MICRO_TUPLES,
+    MicroSetup,
+    access_path_plan,
+    make_micro_db,
+)
+
+#: Selectivity points of the sweep (percent); a subset of the fig5 grid
+#: spanning the index-friendly low end through the full-scan high end.
+DEFAULT_GRID_PCT = (0.1, 1.0, 20.0, 100.0)
+
+#: Access paths compared (the fig5 paths whose engine work dominates;
+#: the classical index scan is one random fetch per tuple on both paths).
+DEFAULT_PATHS = ("full", "sort", "smooth")
+
+
+@dataclass
+class BatchBenchResult:
+    """Wall-clock throughput of row vs. batch execution per plan."""
+
+    labels: list[str] = field(default_factory=list)
+    tuples: list[int] = field(default_factory=list)
+    row_seconds: list[float] = field(default_factory=list)
+    batch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(self.tuples)
+
+    @property
+    def overall_speedup(self) -> float:
+        """Total-tuples-over-total-time ratio of the two paths."""
+        row_total = sum(self.row_seconds)
+        batch_total = sum(self.batch_seconds)
+        if batch_total <= 0:
+            return float("inf")
+        return row_total / batch_total
+
+    def report(self) -> str:
+        headers = ["plan", "tuples", "row_s", "batch_s",
+                   "row_ktps", "batch_ktps", "speedup"]
+        table = []
+        for i, label in enumerate(self.labels):
+            row_s, batch_s = self.row_seconds[i], self.batch_seconds[i]
+            n = self.tuples[i]
+            table.append([
+                label, n, row_s, batch_s,
+                n / row_s / 1e3 if row_s > 0 else None,
+                n / batch_s / 1e3 if batch_s > 0 else None,
+                row_s / batch_s if batch_s > 0 else None,
+            ])
+        row_total, batch_total = sum(self.row_seconds), sum(self.batch_seconds)
+        n = self.total_tuples
+        table.append([
+            "OVERALL", n, row_total, batch_total,
+            n / row_total / 1e3 if row_total > 0 else None,
+            n / batch_total / 1e3 if batch_total > 0 else None,
+            self.overall_speedup,
+        ])
+        return format_table(
+            headers, table,
+            title=("Batch vs. row execution — wall-clock throughput, "
+                   "fig5 selectivity sweep"),
+        )
+
+
+def _drain_rows(db, plan) -> tuple[int, float]:
+    """Cold-run ``plan`` tuple-at-a-time; return (tuples, wall seconds)."""
+    ctx = db.cold_run()
+    start = time.perf_counter()
+    count = 0
+    for _row in plan.rows(ctx):
+        count += 1
+    return count, time.perf_counter() - start
+
+
+def _drain_batches(db, plan) -> tuple[int, float]:
+    """Cold-run ``plan`` batch-at-a-time; return (tuples, wall seconds)."""
+    ctx = db.cold_run()
+    start = time.perf_counter()
+    count = 0
+    for batch in plan.batches(ctx):
+        count += len(batch)
+    return count, time.perf_counter() - start
+
+
+def run_batch_bench(num_tuples: int = DEFAULT_MICRO_TUPLES,
+                    selectivities_pct: tuple = DEFAULT_GRID_PCT,
+                    paths: tuple = DEFAULT_PATHS,
+                    setup: MicroSetup | None = None,
+                    repeats: int = 2) -> BatchBenchResult:
+    """Measure row vs. batch wall-clock throughput over the fig5 plans.
+
+    Each (path, selectivity) plan is drained ``repeats`` times per
+    protocol and the best time is kept, damping scheduler noise.
+    """
+    setup = setup or make_micro_db(num_tuples)
+    result = BatchBenchResult()
+    for sel_pct in selectivities_pct:
+        sel = sel_pct / 100.0
+        for path in paths:
+            row_best = batch_best = float("inf")
+            rows_n = batch_n = 0
+            for _ in range(max(1, repeats)):
+                plan = access_path_plan(path, setup.table, sel)
+                rows_n, secs = _drain_rows(setup.db, plan)
+                row_best = min(row_best, secs)
+                plan = access_path_plan(path, setup.table, sel)
+                batch_n, secs = _drain_batches(setup.db, plan)
+                batch_best = min(batch_best, secs)
+            if rows_n != batch_n:
+                raise AssertionError(
+                    f"row/batch row-count mismatch for {path}@{sel_pct}%: "
+                    f"{rows_n} vs {batch_n}"
+                )
+            result.labels.append(f"{path}@{sel_pct:g}%")
+            result.tuples.append(rows_n)
+            result.row_seconds.append(row_best)
+            result.batch_seconds.append(batch_best)
+    return result

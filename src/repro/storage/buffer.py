@@ -99,31 +99,47 @@ class BufferPool:
         if n_pages <= 0:
             return []
         end = min(start_page + n_pages, file.num_pages)
+        # One tight loop with bulk bookkeeping: stats, the buffer-hit CPU
+        # charge and LRU eviction are applied once per run, not per page,
+        # so handing a morphing region to a batch operator costs O(pages)
+        # dict operations and nothing else.
+        resident = self._pages
+        file_id = file.file_id
+        file_page = file.page
+        capacity = self.capacity_pages
         pages: list[HeapPage] = []
+        append = pages.append
+        hits = 0
         run_start: int | None = None
-
-        def flush_run(upto: int) -> None:
-            nonlocal run_start
-            if run_start is not None:
-                self.disk.read_run(file.file_id, run_start, upto - run_start)
-                run_start = None
-
         for pid in range(start_page, end):
-            key = (file.file_id, pid)
-            if key in self._pages:
-                flush_run(pid)
-                self._pages.move_to_end(key)
-                self.stats.hits += 1
-                self.disk.clock.charge_cpu(self.hit_cpu_ms)
-                pages.append(self._pages[key])  # type: ignore[arg-type]
+            key = (file_id, pid)
+            page = resident.get(key)
+            if page is not None:
+                if run_start is not None:
+                    self.disk.read_run(file_id, run_start, pid - run_start)
+                    run_start = None
+                resident.move_to_end(key)
+                hits += 1
             else:
                 if run_start is None:
                     run_start = pid
-                self.stats.misses += 1
-                page = file.page(pid)
-                self._admit(key, page)
-                pages.append(page)
-        flush_run(end)
+                page = file_page(pid)
+                resident[key] = page
+                # Strict LRU: evict at admission time, so a run larger
+                # than the free capacity cannot transiently hold extra
+                # pages (and mid-run evictions turn later "hits" into
+                # honest misses, exactly as per-page admission did).
+                if len(resident) > capacity:
+                    resident.popitem(last=False)
+            append(page)  # type: ignore[arg-type]
+        if run_start is not None:
+            self.disk.read_run(file_id, run_start, end - run_start)
+        if hits:
+            self.stats.hits += hits
+            self.disk.clock.charge_cpu(self.hit_cpu_ms * hits)
+        misses = len(pages) - hits
+        if misses:
+            self.stats.misses += misses
         return pages
 
     def reset(self) -> None:

@@ -96,6 +96,8 @@ class DiskStats:
     seq_pages: int = 0
     rand_pages: int = 0
     bytes_read: int = 0
+    pages_written: int = 0
+    bytes_written: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -104,6 +106,8 @@ class DiskStats:
         self.seq_pages = 0
         self.rand_pages = 0
         self.bytes_read = 0
+        self.pages_written = 0
+        self.bytes_written = 0
 
     def snapshot(self) -> "DiskStats":
         """Return an independent copy of the current counters."""
@@ -113,6 +117,8 @@ class DiskStats:
             seq_pages=self.seq_pages,
             rand_pages=self.rand_pages,
             bytes_read=self.bytes_read,
+            pages_written=self.pages_written,
+            bytes_written=self.bytes_written,
         )
 
     def diff(self, before: "DiskStats") -> "DiskStats":
@@ -123,6 +129,8 @@ class DiskStats:
             seq_pages=self.seq_pages - before.seq_pages,
             rand_pages=self.rand_pages - before.rand_pages,
             bytes_read=self.bytes_read - before.bytes_read,
+            pages_written=self.pages_written - before.pages_written,
+            bytes_written=self.bytes_written - before.bytes_written,
         )
 
 
@@ -211,6 +219,35 @@ class SimulatedDisk:
             return
         self.clock.charge_io(self.profile.page_ms(True) * 2 * n_pages)
         self.stats.requests += 2 * -(-n_pages // self.extent_pages)
+        self.stats.pages_read += n_pages
+        self.stats.bytes_read += n_pages * self.page_size
+        self.stats.pages_written += n_pages
+        self.stats.bytes_written += n_pages * self.page_size
+        self._head = None
+
+    def overflow_write(self, n_pages: int) -> None:
+        """Charge a sequential *write* of ``n_pages`` to an overflow file.
+
+        One half of a spill: the Result Cache pays this when a partition
+        leaves memory, and pays :meth:`overflow_read` only if and when the
+        partition is actually probed again.
+        """
+        if n_pages <= 0:
+            return
+        self.clock.charge_io(self.profile.page_ms(True) * n_pages)
+        self.stats.requests += -(-n_pages // self.extent_pages)  # ceil div
+        self.stats.pages_written += n_pages
+        self.stats.bytes_written += n_pages * self.page_size
+        self._head = None
+
+    def overflow_read(self, n_pages: int) -> None:
+        """Charge a sequential read-back of ``n_pages`` from an overflow
+        file ("overflow files that are read upon reaching the range keys
+        belong to")."""
+        if n_pages <= 0:
+            return
+        self.clock.charge_io(self.profile.page_ms(True) * n_pages)
+        self.stats.requests += -(-n_pages // self.extent_pages)  # ceil div
         self.stats.pages_read += n_pages
         self.stats.bytes_read += n_pages * self.page_size
         self._head = None

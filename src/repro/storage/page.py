@@ -57,3 +57,11 @@ class HeapPage:
     def rows_with_slots(self) -> Iterator[tuple[int, Row]]:
         """Yield ``(slot, row)`` pairs in slot order."""
         return iter(enumerate(self._rows))
+
+    def all_rows(self) -> list[Row]:
+        """The page's row list in slot order (``rows[slot]`` is slot's row).
+
+        Batch-vectorized operators read this directly instead of paying a
+        per-row iterator; callers must treat the list as read-only.
+        """
+        return self._rows

@@ -1,0 +1,441 @@
+"""The batch execution protocol: shims, vectorized predicates, and
+row/batch equivalence across the whole operator zoo.
+
+The contract under test: for every operator, concatenating ``batches()``
+must equal ``rows()`` — same rows, same order — and both paths must charge
+the same simulated costs.  SmoothScan gets the full configuration grid
+(policy × trigger × ordered), including the morph-boundary interplay of
+the Tuple ID cache and Result Cache under non-eager triggers.
+"""
+
+import pytest
+
+from repro.context import ExecutionContext
+from repro.core.morph_join import MorphingIndexJoin
+from repro.core.policy import (
+    ElasticPolicy,
+    GreedyPolicy,
+    SelectivityIncreasePolicy,
+)
+from repro.core.smooth_scan import SmoothScan
+from repro.core.switch_scan import SwitchScan
+from repro.core.trigger import (
+    EagerTrigger,
+    OptimizerDrivenTrigger,
+    SLADrivenTrigger,
+)
+from repro.exec.aggregates import AggSpec, HashAggregate
+from repro.exec.expressions import (
+    And,
+    Between,
+    Comparison,
+    CompareOp,
+    InList,
+    KeyRange,
+    Not,
+    Or,
+    StringMatch,
+    TruePredicate,
+    range_filter,
+    range_selector,
+)
+from repro.exec.iterator import DEFAULT_BATCH_SIZE, Operator
+from repro.exec.joins import HashJoin, MergeJoin, NestedLoopJoin
+from repro.exec.misc import Filter, Limit, Materialize, Project
+from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.sort import Sort
+from repro.storage.types import Row, Schema
+
+ALL_POLICIES = [GreedyPolicy(), SelectivityIncreasePolicy(), ElasticPolicy()]
+TRIGGERS = {
+    "eager": EagerTrigger,
+    "optimizer": lambda: OptimizerDrivenTrigger(10),
+    "sla": lambda: SLADrivenTrigger(25),
+}
+
+
+def drain_rows(db, plan):
+    ctx = db.cold_run()
+    out = list(plan.rows(ctx))
+    return out, db.clock.total_ms
+
+def drain_batches(db, plan):
+    ctx = db.cold_run()
+    batches = list(plan.batches(ctx))
+    for batch in batches:
+        assert batch, "operators must not yield empty batches"
+    return [row for batch in batches for row in batch], db.clock.total_ms
+
+
+def assert_paths_equal(db, plan_factory):
+    """Both protocols produce identical rows and simulated costs."""
+    rows, row_ms = drain_rows(db, plan_factory())
+    flat, batch_ms = drain_batches(db, plan_factory())
+    assert flat == rows
+    assert batch_ms == pytest.approx(row_ms, rel=1e-9)
+    return rows
+
+
+# -- protocol shims ------------------------------------------------------
+
+
+class _RowsOnly(Operator):
+    def __init__(self, data):
+        self.schema = Schema.of_ints(["a"])
+        self._data = data
+
+    def rows(self, ctx):
+        yield from self._data
+
+
+class _BatchesOnly(Operator):
+    def __init__(self, data):
+        self.schema = Schema.of_ints(["a"])
+        self._data = data
+
+    def batches(self, ctx):
+        if self._data:
+            yield list(self._data)
+
+
+class _Neither(Operator):
+    schema = Schema.of_ints(["a"])
+
+
+def test_rows_only_operator_gets_batches_shim(db):
+    data = [(i,) for i in range(2_500)]
+    op = _RowsOnly(data)
+    batches = list(op.batches(db.context()))
+    assert [r for b in batches for r in b] == data
+    # The shim chunks at DEFAULT_BATCH_SIZE.
+    assert all(len(b) <= DEFAULT_BATCH_SIZE for b in batches)
+    assert len(batches) == 3
+
+
+def test_batches_only_operator_gets_rows_shim(db):
+    data = [(i,) for i in range(10)]
+    op = _BatchesOnly(data)
+    assert list(op.rows(db.context())) == data
+
+
+def test_operator_with_neither_protocol_raises(db):
+    op = _Neither()
+    with pytest.raises(NotImplementedError):
+        next(op.rows(db.context()))
+    with pytest.raises(NotImplementedError):
+        next(op.batches(db.context()))
+
+
+# -- vectorized predicates ----------------------------------------------
+
+
+PREDICATES = [
+    TruePredicate(),
+    Comparison("c2", CompareOp.LT, 300),
+    Comparison("c2", CompareOp.EQ, 42),
+    Comparison("c2", CompareOp.NE, 42),
+    Between("c2", 100, 500),
+    Between("c2", 100, 500, lo_inclusive=False, hi_inclusive=True),
+    InList("c3", (1, 3, 5)),
+    And([Between("c2", 0, 700), InList("c3", (0, 2, 4, 6, 8))]),
+    Or([Comparison("c2", CompareOp.LT, 50),
+        Comparison("c2", CompareOp.GE, 900)]),
+    Not(Between("c2", 200, 800)),
+    And([]),
+    Or([]),
+]
+
+
+@pytest.mark.parametrize("predicate", PREDICATES, ids=repr)
+def test_bind_batch_and_filter_match_bind(small_table, predicate):
+    _db, table = small_table
+    rows = [row for _tid, row in table.heap.iter_rows()][:600]
+    schema = table.schema
+    fn = predicate.bind(schema)
+    expected_idx = [i for i, row in enumerate(rows) if fn(row)]
+    expected_rows = [row for row in rows if fn(row)]
+
+    assert predicate.bind_batch(schema)(rows) == expected_idx
+    assert list(predicate.bind_filter(schema)(rows)) == expected_rows
+
+    # Candidate-restricted selection: only even indices offered.
+    candidates = list(range(0, len(rows), 2))
+    want = [i for i in candidates if fn(rows[i])]
+    assert predicate.bind_batch(schema)(rows, candidates) == want
+
+
+def test_string_match_batch_falls_back_to_default(db):
+    from repro.storage.types import Column, ColumnType
+    schema = Schema([Column("s", ColumnType.CHAR, 16)])
+    rows = [("apple",), ("banana",), ("apricot",), ("cherry",)]
+    pred = StringMatch("s", "prefix", "ap")
+    assert pred.bind_batch(schema)(rows) == [0, 2]
+    assert pred.bind_filter(schema)(rows) == [("apple",), ("apricot",)]
+
+
+@pytest.mark.parametrize("rng", [
+    KeyRange.all(),
+    KeyRange(100, None),
+    KeyRange(None, 500),
+    KeyRange(100, 500),
+    KeyRange(100, 500, lo_inclusive=False, hi_inclusive=True),
+    KeyRange.equal(250),
+], ids=lambda r: f"[{r.lo},{r.hi},{r.lo_inclusive},{r.hi_inclusive}]")
+def test_range_selector_and_filter_match_contains(small_table, rng):
+    _db, table = small_table
+    rows = [row for _tid, row in table.heap.iter_rows()][:600]
+    col = 1
+    expected_idx = [i for i, row in enumerate(rows) if rng.contains(row[col])]
+    expected_rows = [row for row in rows if rng.contains(row[col])]
+    assert range_selector(rng, col)(rows) == expected_idx
+    assert list(range_filter(rng, col)(rows)) == expected_rows
+    candidates = list(range(1, len(rows), 3))
+    want = [i for i in candidates if rng.contains(rows[i][col])]
+    assert range_selector(rng, col)(rows, candidates) == want
+
+
+# -- SmoothScan: the full configuration grid -----------------------------
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+@pytest.mark.parametrize("trigger_name", list(TRIGGERS))
+@pytest.mark.parametrize("ordered", [False, True], ids=["unord", "ord"])
+def test_smooth_scan_batch_equals_rows(small_table, policy, trigger_name,
+                                       ordered):
+    db, table = small_table
+    def factory():
+        return SmoothScan(
+            table, "c2", KeyRange(0, 400),
+            residual=Between("c3", 0, 5),
+            policy=policy, trigger=TRIGGERS[trigger_name](), ordered=ordered,
+        )
+    rows = assert_paths_equal(db, factory)
+    assert rows  # the grid point actually produces data
+
+
+def test_smooth_scan_batch_stats_match_row_stats(small_table):
+    db, table = small_table
+    row_scan = SmoothScan(table, "c2", KeyRange(0, 700), ordered=True,
+                          trigger=OptimizerDrivenTrigger(15))
+    list(row_scan.rows(db.cold_run()))
+    batch_scan = SmoothScan(table, "c2", KeyRange(0, 700), ordered=True,
+                            trigger=OptimizerDrivenTrigger(15))
+    list(batch_scan.batches(db.cold_run()))
+    s1, s2 = row_scan.last_stats, batch_scan.last_stats
+    assert s1.probes == s2.probes
+    assert s1.produced == s2.produced
+    assert s1.pages_fetched == s2.pages_fetched
+    assert s1.morphed_at == s2.morphed_at
+    assert s1.region_trace == s2.region_trace
+    assert s1.result_cache.inserts == s2.result_cache.inserts
+    assert s1.result_cache.hits == s2.result_cache.hits
+
+
+@pytest.mark.parametrize("trigger_name", ["optimizer", "sla"])
+@pytest.mark.parametrize("use_batches", [False, True], ids=["rows", "batches"])
+def test_ordered_non_eager_no_duplicates(small_table, trigger_name,
+                                         use_batches):
+    """Tuple ID cache × Result Cache across the morph boundary.
+
+    Under a non-eager trigger an ordered Smooth Scan produces tuples in
+    mode 0 (recorded in the Tuple ID cache), then morphs; post-morph page
+    probes must both skip already-produced tuples and keep parking future
+    ones in the Result Cache — no tuple may come out twice.
+    """
+    db, table = small_table
+    scan = SmoothScan(table, "c2", KeyRange(0, 500),
+                      trigger=TRIGGERS[trigger_name](), ordered=True)
+    ctx = db.cold_run()
+    if use_batches:
+        rows = [r for b in scan.batches(ctx) for r in b]
+    else:
+        rows = list(scan.rows(ctx))
+    assert scan.last_stats.morphed_at is not None  # it did morph
+    # No duplicates: row identity is the unique c1 primary key.
+    c1s = [r[0] for r in rows]
+    assert len(c1s) == len(set(c1s))
+    # Exactly the qualifying tuples, in key order after the morph point.
+    expected = sorted(
+        (row for _tid, row in table.heap.iter_rows() if 0 <= row[1] < 500),
+        key=lambda r: r[0],
+    )
+    assert sorted(rows, key=lambda r: r[0]) == expected
+    keys = [r[1] for r in rows[scan.last_stats.morphed_at:]]
+    assert keys == sorted(keys)
+
+
+def test_smooth_scan_stats_current_when_batch_run_abandoned(small_table):
+    """Early termination (e.g. Limit) must not leave stale internals.
+
+    A generator can only be abandoned while suspended at a yield, and
+    every yield site syncs the local probe ordinal back to the stats.
+    """
+    db, table = small_table
+    scan = SmoothScan(table, "c2", KeyRange(0, 1000))
+    plan = Limit(scan, 5)
+    rows = [r for b in plan.batches(db.cold_run()) for r in b]
+    assert len(rows) == 5
+    # The probes that produced the emitted batch are recorded, not a
+    # stale zero from before the first policy update.
+    assert scan.last_stats.probes > 0
+    assert scan.last_stats.produced >= 5
+
+
+def test_smooth_scan_spill_parity(small_table):
+    db, table = small_table
+    def factory():
+        return SmoothScan(table, "c2", KeyRange(0, 1000), ordered=True,
+                          result_cache_memory_limit=2_000)
+    assert_paths_equal(db, factory)
+
+
+# -- the rest of the operator zoo ----------------------------------------
+
+
+def test_scans_batch_equals_rows(small_table):
+    db, table = small_table
+    pred = Between("c2", 0, 650)
+    rng = KeyRange(0, 650)
+    for factory in (
+        lambda: FullTableScan(table, pred),
+        lambda: IndexScan(table, "c2", rng),  # shim-provided batches
+        lambda: SortScan(table, "c2", rng, residual=InList("c3", (1, 2, 3))),
+        lambda: SwitchScan(table, "c2", rng, threshold=40),
+    ):
+        assert assert_paths_equal(db, factory)
+
+
+def test_pipeline_batch_equals_rows(small_table):
+    db, table = small_table
+    def factory():
+        scanned = FullTableScan(table, Between("c2", 0, 800))
+        filtered = Filter(scanned, InList("c3", (0, 1, 2, 3, 4)))
+        projected = Project(filtered, ["c2", "c3"])
+        return Sort(projected, ["c2", "c3"])
+    assert assert_paths_equal(db, factory)
+
+
+def test_limit_batch_equals_rows(small_table):
+    db, table = small_table
+    for n in (0, 1, 37, 10_000):
+        def factory():
+            return Limit(FullTableScan(table), n)
+        rows, _ = drain_rows(db, factory())
+        flat, _ = drain_batches(db, factory())
+        assert flat == rows
+        assert len(rows) == min(n, table.row_count)
+
+
+def test_joins_batch_equals_rows(small_table):
+    from repro.exec.misc import Rename
+    db, table = small_table
+    left = lambda: Project(FullTableScan(table, Between("c2", 0, 90)),
+                           ["c1", "c2"])
+    for join_type in ("inner", "left", "semi", "anti"):
+        def factory():
+            rn = Rename(
+                Project(FullTableScan(table, Between("c2", 0, 60)), ["c2"]),
+                {"c2": "d2"},
+            )
+            return HashJoin(left(), rn, ["c2"], ["d2"], join_type=join_type)
+        assert_paths_equal(db, factory)
+
+    def nlj_factory():
+        return NestedLoopJoin(
+            Project(FullTableScan(table, Between("c2", 0, 25)), ["c1"]),
+            Project(Filter(FullTableScan(table), InList("c3", (1, 2))),
+                    ["c3"]),
+            predicate=Comparison("c3", CompareOp.GT, 1),
+        )
+    assert_paths_equal(db, nlj_factory)
+
+    def merge_factory():  # MergeJoin uses the shim both ways
+        lhs = Sort(Project(FullTableScan(table, Between("c2", 0, 80)),
+                           ["c2"]), ["c2"])
+        rhs = Sort(
+            Rename(Project(FullTableScan(table, Between("c2", 40, 120)),
+                           ["c2"]), {"c2": "d2"}),
+            ["d2"],
+        )
+        return MergeJoin(lhs, rhs, "c2", "d2")
+    assert_paths_equal(db, merge_factory)
+
+
+def test_aggregate_batch_equals_rows(small_table):
+    db, table = small_table
+    def factory():
+        return HashAggregate(
+            FullTableScan(table, Between("c2", 0, 900)),
+            group_by=["c3"],
+            aggs=[AggSpec("count", "n", column=None),
+                  AggSpec("sum", "total", column="c2"),
+                  AggSpec("max", "hi", column="c2",
+                          ctype=table.schema.columns[1].ctype)],
+        )
+    assert assert_paths_equal(db, factory)
+
+
+def test_materialize_batch_replay(small_table):
+    db, table = small_table
+    op = Materialize(FullTableScan(table, Between("c2", 0, 300)))
+    ctx = db.cold_run()
+    first = [r for b in op.batches(ctx) for r in b]
+    replay = [r for b in op.batches(ctx) for r in b]
+    assert replay == first
+    assert list(op.rows(ctx)) == first
+
+
+def test_materialize_caches_fully_under_partial_batch_drain(small_table):
+    """A Limit above a Materialize must not poison the cache.
+
+    The first (partial) drain materializes the child completely — like
+    rows() — so the second execution replays instead of re-running the
+    child and re-paying its simulated I/O.
+    """
+    db, table = small_table
+    mat = Materialize(FullTableScan(table, Between("c2", 0, 300)))
+    plan = Limit(mat, 10)
+    ctx = db.cold_run()
+    first = [r for b in plan.batches(ctx) for r in b]
+    assert len(first) == 10
+    io_after_first = db.clock.io_ms
+    again = [r for b in plan.batches(ctx) for r in b]
+    assert again == first
+    assert db.clock.io_ms == io_after_first  # replay: no new disk I/O
+
+
+def test_buffer_get_run_keeps_strict_lru_capacity(db):
+    """A run larger than the pool must not transiently over-hold pages.
+
+    With capacity 4 and page 8 resident but oldest, fetching pages 0-9
+    evicts 8 before the run reaches it: 10 honest misses, one read run.
+    """
+    from repro.storage.heap import HeapFile
+    heap = HeapFile(file_id=0, schema=Schema.of_ints(["a"]),
+                    tuples_per_page=2)
+    for i in range(40):
+        heap.append((i,))
+    pool = db.buffer
+    pool.capacity_pages = 4
+    pool.get_page(heap, 8)
+    pool.stats.reset()
+    db.disk.reset()
+    pool.get_run(heap, 0, 10)
+    assert pool.stats.misses == 10
+    assert pool.stats.hits == 0
+    assert db.disk.stats.pages_read == 10
+    assert len(pool) <= 4
+
+
+def test_morphing_join_batch_equals_rows(small_table):
+    db, table = small_table
+    def factory():
+        outer = Project(FullTableScan(table, Between("c1", 0, 300)), ["c1"])
+        return MorphingIndexJoin(Rename_outer(outer), table, "c2", "o_key")
+    def Rename_outer(op):
+        from repro.exec.misc import Rename
+        return Rename(op, {"c1": "o_key"})
+    rows, row_ms = drain_rows(db, factory())
+    flat, batch_ms = drain_batches(db, factory())
+    assert flat == rows
+    assert batch_ms == pytest.approx(row_ms, rel=1e-9)

@@ -126,3 +126,94 @@ def test_result_cache_no_separators_single_partition():
     cache.insert(1, TID(0, 0), ("x",))
     assert cache.num_partitions == 1
     assert cache.take(999, TID(0, 0)) == ("x",)
+
+
+def test_page_id_cache_rejects_marks_on_empty_table():
+    # Regression: the bounds check used max(1, num_pages), accepting page
+    # 0 of a zero-page table.
+    cache = PageIdCache(0)
+    with pytest.raises(ExecutionError):
+        cache.mark(0)
+    assert not cache.is_seen(0)
+    assert cache.pages_seen == 0
+
+
+def test_result_cache_advance_counts_spilled_evictions():
+    # Regression: spilled partitions were dropped without counting their
+    # entries in evicted_entries.
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    cache = ResultCache(separators=[100, 200, 300], bytes_per_entry=1000,
+                        memory_limit_bytes=3000, page_bytes=8192)
+    for i in range(5):  # partition [200, 300): spills past the limit
+        cache.insert(250, TID(1, i), (i,), disk=disk)
+    assert cache.stats.spills >= 1
+    spilled_entries = 5 - cache.entries
+    assert spilled_entries > 0
+    cache.insert(50, TID(0, 0), ("low",), disk=disk)
+    in_memory = cache.entries
+    evicted = cache.advance(300)  # passes every separator
+    assert evicted == in_memory + spilled_entries
+    assert cache.stats.evicted_entries == evicted
+    assert cache.entries == 0
+
+
+def test_result_cache_advance_is_incremental():
+    # advance() must not rescan separators already passed: once a
+    # partition is evicted, re-advancing with the same key is a no-op
+    # and later separators are still honored.
+    cache = ResultCache(separators=[10, 20, 30], bytes_per_entry=64)
+    cache.insert(5, TID(0, 0), ("a",))
+    cache.insert(15, TID(0, 1), ("b",))
+    cache.insert(35, TID(0, 2), ("c",))
+    assert cache.advance(12) == 1     # partition [.., 10) dropped
+    assert cache.advance(12) == 0     # same key again: nothing new
+    assert cache.advance(5) == 0      # keys never move backwards in a scan
+    assert cache.advance(30) == 1     # partitions [10,20) and [20,30)
+    assert cache.take(35, TID(0, 2)) == ("c",)
+
+
+def test_result_cache_unspill_charges_read_not_spill():
+    # Regression: _unspill charged disk.spill() — a write-plus-read —
+    # when reading an overflow file back.
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    cache = ResultCache(separators=[100], bytes_per_entry=1000,
+                        memory_limit_bytes=3000, page_bytes=8192)
+    for i in range(5):
+        cache.insert(200, TID(1, i), (i,), disk=disk)
+    assert cache.stats.spills == 1
+    spill_pages = cache.stats.spill_pages_written
+    assert spill_pages >= 1
+    assert disk.stats.pages_written == spill_pages
+    assert disk.stats.pages_read == 0  # the write is not a read
+
+    before_io = disk.clock.io_ms
+    read_before = disk.stats.pages_read
+    cache.take(200, TID(1, 0), disk=disk)
+    assert cache.stats.unspills == 1
+    assert cache.stats.unspill_pages_read == spill_pages
+    assert disk.stats.pages_read - read_before == spill_pages
+    # The read-back costs one sequential pass, not the 2x of a spill.
+    expected = disk.profile.page_ms(True) * spill_pages
+    assert disk.clock.io_ms - before_io == pytest.approx(expected)
+
+
+def test_result_cache_insert_below_advanced_position_raises():
+    # The probe never moves backwards; parking a tuple whose probe has
+    # already passed would leak it forever, so insert() refuses loudly.
+    cache = ResultCache(separators=[10, 20, 30], bytes_per_entry=64)
+    cache.advance(15)  # partitions below 10 are gone
+    with pytest.raises(ExecutionError):
+        cache.insert(5, TID(0, 0), ("late",))
+    cache.insert(15, TID(0, 1), ("ok",))  # current partition still fine
+
+
+def test_result_cache_insert_into_spilled_partition_counts_on_advance():
+    disk = SimulatedDisk(profile=DiskProfile.hdd(), clock=SimClock())
+    cache = ResultCache(separators=[100, 400], bytes_per_entry=1000,
+                        memory_limit_bytes=3000, page_bytes=8192)
+    for i in range(5):  # partition [100, 400): spills past the limit
+        cache.insert(200, TID(1, i), (i,), disk=disk)
+    assert cache.stats.spills == 1
+    # A new insert lands in the overflow file, and advance still counts it.
+    cache.insert(300, TID(2, 0), ("late",), disk=disk)
+    assert cache.advance(400) == 6
