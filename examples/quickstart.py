@@ -1,18 +1,9 @@
-"""Quickstart: build a table, compare access paths, inspect Smooth Scan.
+"""Quickstart: declarative queries, the planner's choices, Smooth Scan.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Between,
-    Database,
-    FullTableScan,
-    IndexScan,
-    KeyRange,
-    SmoothScan,
-    SortScan,
-    measure,
-)
+from repro import Between, Database, PlannerOptions, SmoothScan
 from repro.workloads import build_micro_table
 
 
@@ -23,47 +14,49 @@ def main() -> None:
     # The paper's micro-benchmark table: 10 int columns, 120 tuples/page,
     # a primary-key index on c1 and a secondary index on c2.
     table = build_micro_table(db, num_tuples=120_000)
+    db.analyze()  # collect statistics for the cost-based planner
     print(f"loaded {table.row_count} rows over {table.num_pages} pages\n")
 
-    # SELECT * FROM micro WHERE c2 >= 0 AND c2 < 20000  (~20% selectivity)
-    key_range = KeyRange(0, 20_000)
-    predicate = Between("c2", 0, 20_000)
+    # SELECT * FROM micro WHERE c2 >= 0 AND c2 < 20000 ORDER BY c2
+    # (~20% selectivity), stated declaratively: the planner picks the
+    # access path; no operator classes in sight.
+    query = (
+        db.query("micro")
+        .where(Between("c2", 0, 20_000))
+        .order_by("c2")
+    )
 
-    plans = {
-        "Full Table Scan": FullTableScan(table, predicate),
-        "Index Scan": IndexScan(table, "c2", key_range),
-        "Sort (bitmap) Scan": SortScan(table, "c2", key_range),
-        "Smooth Scan": SmoothScan(table, "c2", key_range),
-    }
+    result = db.execute(query)  # cold: caches dropped first
+    print("cost-based planner's choice:")
+    print(result.explain())  # estimated vs. actual rows per plan node
+    print(f"= {result.row_count} rows in {result.total_seconds:.3f}s "
+          f"({result.disk.requests} I/O requests)\n")
+
+    # Force each access path through the same declarative query — the
+    # four curves of Figure 5 in miniature.
     print(f"{'access path':22} {'rows':>7} {'sim time':>10} "
           f"{'I/O reqs':>9} {'read MB':>8}")
-    for name, plan in plans.items():
-        result = measure(db, plan)  # cold: caches dropped first
-        print(f"{name:22} {result.row_count:7} "
-              f"{result.total_seconds:9.3f}s "
-              f"{result.disk.requests:9} "
-              f"{result.disk.bytes_read / 1e6:8.1f}")
+    for path in ("full", "index", "sort", "smooth"):
+        res = db.execute(query, keep_rows=False,
+                         options=PlannerOptions(force_path=path))
+        print(f"{path:22} {res.row_count:7} "
+              f"{res.total_seconds:9.3f}s "
+              f"{res.disk.requests:9} "
+              f"{res.disk.bytes_read / 1e6:8.1f}")
 
-    # Smooth Scan exposes its morphing internals after each run.
-    smooth = plans["Smooth Scan"]
-    stats = smooth.last_stats
-    print("\nSmooth Scan internals:")
-    for key, value in stats.summary().items():
+    # "The optimizer can always choose a Smooth Scan" (§IV-B): with
+    # enable_smooth the planner stops gambling on estimates entirely.
+    smooth = db.execute(query, options=PlannerOptions(enable_smooth=True))
+    scan = next(op for op in smooth.plan.operators()
+                if isinstance(op, SmoothScan))
+    print("\nSmooth Scan internals (from the declarative run):")
+    for key, value in scan.last_stats.summary().items():
         print(f"  {key:20} {value}")
 
-    # Batch-vectorized consumption: every operator also yields whole
-    # batches (lists of rows) — Smooth Scan probes morphing-region runs
-    # whole and flushes their output at the batch-size threshold.  Same
-    # rows, same simulated costs, far less per-tuple Python overhead
-    # (measure() drains this protocol too).
-    ctx = db.cold_run()
-    total = 0
-    batch_sizes = []
-    for batch in SmoothScan(table, "c2", key_range).batches(ctx):
-        total += len(batch)
-        batch_sizes.append(len(batch))
-    print(f"\nbatch protocol: {total} rows in {len(batch_sizes)} batches "
-          f"(largest {max(batch_sizes, default=0)})")
+    # The result carries the planner's decision trail.
+    decision = smooth.decisions[0]
+    print(f"\ndecision: path={decision.path!r} column={decision.column!r} "
+          f"est_rows={decision.estimated_cardinality}")
 
 
 if __name__ == "__main__":

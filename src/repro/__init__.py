@@ -8,19 +8,26 @@ Switch Scan operators (the paper's contribution), the Section V cost
 model, a cost-based optimizer with stale-statistics injection, the
 micro/skew/TPC-H workloads, and one experiment module per paper figure.
 
-Quickstart::
+Quickstart (declarative — the planner picks the access paths)::
 
-    from repro import Database, SmoothScan, KeyRange, measure
+    from repro import Between, Database, PlannerOptions
     from repro.workloads import build_micro_table
 
     db = Database()
-    table = build_micro_table(db, num_tuples=120_000)
-    scan = SmoothScan(table, "c2", KeyRange(0, 20_000))
-    result = measure(db, scan)
-    print(result)                       # rows, simulated time, I/O requests
-    print(scan.last_stats.summary())    # morphing internals
+    build_micro_table(db, num_tuples=120_000)
+    q = db.query("micro").where(Between("c2", 0, 20_000)).order_by("c2")
+    result = db.execute(q, options=PlannerOptions(enable_smooth=True))
+    print(result)             # rows, simulated time, I/O requests
+    print(result.explain())   # plan tree, estimated vs. actual rows
+
+Physical plans remain available for experiments that pin exact shapes::
+
+    from repro import KeyRange, SmoothScan, measure
+    scan = SmoothScan(db.table("micro"), "c2", KeyRange(0, 20_000))
+    print(measure(db, scan))
 """
 
+from repro.api import Query, QueryResult
 from repro.config import CpuCosts, EngineConfig
 from repro.context import ExecutionContext
 from repro.core import (
@@ -35,6 +42,14 @@ from repro.core import (
 )
 from repro.database import Database
 from repro.errors import ReproError
+from repro.optimizer import (
+    PlanDecision,
+    PlannedQuery,
+    Planner,
+    PlannerOptions,
+    QuerySpec,
+    StatisticsCatalog,
+)
 from repro.exec import (
     Between,
     Comparison,
@@ -68,6 +83,13 @@ __all__ = [
     "IndexScan",
     "KeyRange",
     "OptimizerDrivenTrigger",
+    "PlanDecision",
+    "PlannedQuery",
+    "Planner",
+    "PlannerOptions",
+    "Query",
+    "QueryResult",
+    "QuerySpec",
     "ReproError",
     "RunResult",
     "SLADrivenTrigger",
@@ -75,6 +97,7 @@ __all__ = [
     "SelectivityIncreasePolicy",
     "SmoothScan",
     "SortScan",
+    "StatisticsCatalog",
     "SwitchScan",
     "measure",
 ]

@@ -1,0 +1,30 @@
+"""Declarative query API: fluent builder, planner lowering, results.
+
+The user-facing layer grown on top of the optimizer: build a
+:class:`Query` fluently, let :meth:`~repro.optimizer.planner.Planner.
+plan_query` choose every access path (including "always Smooth Scan",
+§IV-B), execute through the batch engine, and read the
+:class:`QueryResult` — measurements plus the full decision trail::
+
+    from repro import Between, Database, PlannerOptions
+    from repro.workloads import build_micro_table
+
+    db = Database()
+    build_micro_table(db, num_tuples=120_000)
+    q = db.query("micro").where(Between("c2", 0, 20_000)).order_by("c2")
+    result = db.execute(q, options=PlannerOptions(enable_smooth=True))
+    print(result.explain())   # plan tree, estimated vs. actual rows
+"""
+
+from repro.api.query import Query
+from repro.api.result import QueryResult
+from repro.optimizer.logical import JoinSpec, MapSpec, OrderItem, QuerySpec
+
+__all__ = [
+    "JoinSpec",
+    "MapSpec",
+    "OrderItem",
+    "Query",
+    "QueryResult",
+    "QuerySpec",
+]

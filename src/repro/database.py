@@ -1,14 +1,24 @@
 """The engine facade: tables, indexes, buffer pool and measured runs.
 
 A :class:`Database` is the single entry point applications use: create
-tables, load rows, build indexes, then execute physical plans cold (the
-paper clears all caches before each measured query).  One database owns one
-simulated disk and one buffer pool, shared by every query it executes.
+tables, load rows, build indexes, then run queries cold (the paper clears
+all caches before each measured query).  One database owns one simulated
+disk and one buffer pool, shared by every query it executes.
+
+Queries come in two flavors:
+
+* declarative — :meth:`Database.query` starts a fluent
+  :class:`~repro.api.query.Query`; :meth:`Database.execute` lowers it
+  through the cost-based planner (or "always Smooth Scan", §IV-B) and
+  measures it.  This is the path applications should use.
+* physical — hand-built operator trees executed via
+  :func:`~repro.exec.stats.measure`, kept for experiments that pin exact
+  plan shapes.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.context import ExecutionContext
@@ -19,6 +29,13 @@ from repro.storage.disk import DiskProfile, SimClock, SimulatedDisk
 from repro.storage.heap import HeapFile
 from repro.storage.table import Table
 from repro.storage.types import Row, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.query import Query
+    from repro.api.result import QueryResult
+    from repro.optimizer.logical import QuerySpec
+    from repro.optimizer.planner import PlannedQuery, PlannerOptions
+    from repro.optimizer.statistics import StatisticsCatalog
 
 _MIN_AUTO_BUFFER_PAGES = 64
 _AUTO_BUFFER_FRACTION = 8  # shared_buffers ≈ heap size / 8
@@ -46,6 +63,7 @@ class Database:
         )
         self.tables: dict[str, Table] = {}
         self._next_file_id = 0
+        self._catalog: "StatisticsCatalog | None" = None
 
     # -- schema operations --------------------------------------------------
 
@@ -54,8 +72,8 @@ class Database:
         self._next_file_id += 1
         return fid
 
-    def create_table(self, name: str, schema: Schema) -> Table:
-        """Create an empty table; raises StorageError on duplicates."""
+    def _register_table(self, name: str, schema: Schema) -> Table:
+        """Create and register an empty table (no buffer autosizing)."""
         if name in self.tables:
             raise StorageError(f"table {name!r} already exists")
         tuple_size = schema.tuple_size(self.config.tuple_header)
@@ -66,13 +84,22 @@ class Database:
         )
         table = Table(name, schema, heap)
         self.tables[name] = table
+        return table
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; raises StorageError on duplicates."""
+        table = self._register_table(name, schema)
         self._autosize_buffer()
         return table
 
     def load_table(self, name: str, schema: Schema,
                    rows: Iterable[Row]) -> Table:
-        """Create a table and bulk-append ``rows`` (no I/O is charged)."""
-        table = self.create_table(name, schema)
+        """Create a table and bulk-append ``rows`` (no I/O is charged).
+
+        The buffer pool is autosized once, after the load, when the
+        table's final page count is known.
+        """
+        table = self._register_table(name, schema)
         table.insert_many(rows)
         self._autosize_buffer()
         return table
@@ -86,8 +113,18 @@ class Database:
 
     def create_index(self, table_name: str, column: str,
                      name: str | None = None) -> BTreeIndex:
-        """Build a secondary B+-tree on ``column`` (offline, not timed)."""
+        """Build a secondary B+-tree on ``column`` (offline, not timed).
+
+        Raises StorageError when the column is already indexed — silently
+        replacing would orphan the old index's file id in the buffer
+        pool; drop it first to rebuild.
+        """
         table = self.table(table_name)
+        if table.has_index(column):
+            raise StorageError(
+                f"table {table_name!r} already has an index on "
+                f"{column!r}; drop_index() it first to rebuild"
+            )
         col_pos = table.schema.index_of(column)
         key_size = table.schema.columns[col_pos].byte_size
         index = BTreeIndex(
@@ -103,10 +140,83 @@ class Database:
         return index
 
     def drop_index(self, table_name: str, column: str) -> None:
-        """Remove the secondary index on ``column`` if present."""
-        self.table(table_name).indexes.pop(column, None)
+        """Remove the secondary index on ``column``.
 
-    # -- execution ------------------------------------------------------
+        Raises StorageError when no such index exists, symmetric with
+        :meth:`table` and :meth:`create_index`.
+        """
+        table = self.table(table_name)
+        if table.indexes.pop(column, None) is None:
+            raise StorageError(
+                f"table {table_name!r} has no index on {column!r}"
+            )
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def catalog(self) -> "StatisticsCatalog":
+        """The database's statistics catalog (lazily created, may be
+        empty — the planner falls back to the textbook magic defaults,
+        exactly the statistics-oblivious regime the paper studies)."""
+        if self._catalog is None:
+            from repro.optimizer.statistics import StatisticsCatalog
+            self._catalog = StatisticsCatalog()
+        return self._catalog
+
+    def analyze(self, table_name: str | None = None,
+                **kwargs) -> "StatisticsCatalog":
+        """Collect statistics for one table (or all) into the catalog.
+
+        Keyword arguments pass through to
+        :meth:`~repro.optimizer.statistics.StatisticsCatalog.analyze`
+        (sampling, prefix fractions — every way stats go stale).
+        """
+        tables = ([self.table(table_name)] if table_name is not None
+                  else list(self.tables.values()))
+        for table in tables:
+            self.catalog.analyze(table, **kwargs)
+        return self.catalog
+
+    # -- declarative execution ------------------------------------------
+
+    def query(self, table_name: str) -> "Query":
+        """Start a fluent declarative query on ``table_name``."""
+        from repro.api.query import Query
+        from repro.optimizer.logical import QuerySpec
+        self.table(table_name)  # fail fast on unknown tables
+        return Query(self, QuerySpec(table=table_name))
+
+    def plan(self, query: "Query | QuerySpec",
+             options: "PlannerOptions | None" = None,
+             catalog: "StatisticsCatalog | None" = None) -> "PlannedQuery":
+        """Lower a declarative query into an instrumented physical plan."""
+        from repro.api.query import Query
+        from repro.optimizer.planner import Planner
+        spec = query.spec if isinstance(query, Query) else query
+        if options is None and isinstance(query, Query):
+            options = query.options
+        planner = Planner(self, catalog or self.catalog, options)
+        return planner.plan_query(spec)
+
+    def execute(self, query: "Query | QuerySpec", *, cold: bool = True,
+                keep_rows: bool = True,
+                options: "PlannerOptions | None" = None,
+                catalog: "StatisticsCatalog | None" = None
+                ) -> "QueryResult":
+        """Plan, execute and measure a declarative query in one call.
+
+        ``cold=True`` reproduces the paper's measurement discipline
+        (all caches dropped first); ``keep_rows=False`` counts output
+        rows without materializing them, for large sweeps.
+        """
+        from repro.api.result import QueryResult
+        from repro.exec.stats import measure
+        planned = self.plan(query, options=options, catalog=catalog)
+        planned.reset_counters()
+        run = measure(self, planned.root, cold=cold, keep_rows=keep_rows)
+        return QueryResult(planned, run)
+
+    # -- physical execution ---------------------------------------------
 
     def context(self) -> ExecutionContext:
         """A fresh charging context bound to this database's substrate."""

@@ -9,6 +9,7 @@ from repro.exec.expressions import (
     InList,
     KeyRange,
     Not,
+    NullRejecting,
     Or,
     Predicate,
     TruePredicate,
@@ -29,7 +30,15 @@ from repro.exec.joins import (
     MergeJoin,
     NestedLoopJoin,
 )
-from repro.exec.misc import Filter, Limit, MapProject, Materialize, Project
+from repro.exec.misc import (
+    Filter,
+    Limit,
+    MapProject,
+    Materialize,
+    Project,
+    Rename,
+    RowCounter,
+)
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
 from repro.exec.sort import Sort
 from repro.exec.stats import RunResult, measure
@@ -56,10 +65,13 @@ __all__ = [
     "MergeJoin",
     "NestedLoopJoin",
     "Not",
+    "NullRejecting",
     "Operator",
     "Or",
     "Predicate",
     "Project",
+    "Rename",
+    "RowCounter",
     "RunResult",
     "range_selector",
     "Sort",
@@ -70,6 +82,5 @@ __all__ = [
     "explain",
     "extract_range",
     "measure",
-    "scalar_aggregate",
     "scalar_aggregate",
 ]

@@ -342,6 +342,57 @@ class Or(Predicate):
         return "(" + " OR ".join(map(repr, self.parts)) + ")"
 
 
+class NullRejecting(Predicate):
+    """WHERE semantics over nullable rows: referenced NULLs fail the row.
+
+    Wraps a predicate so that an atom touching ``None`` (e.g. the
+    null-padded output of a left join) counts as not matching —
+    approximating SQL's three-valued logic with explicit column checks,
+    so genuine type errors in the predicate still surface loudly.  The
+    UNKNOWN handling distributes through conjunctions and disjunctions
+    (``TRUE OR UNKNOWN`` keeps the row; ``TRUE AND UNKNOWN`` drops it)
+    and through negations via De Morgan (``NOT (FALSE AND UNKNOWN)``
+    keeps the row).  Only the planner places this, and only above outer
+    joins; everywhere else predicates stay unwrapped so their
+    specialized fast paths keep applying.
+    """
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        part = self.part
+        if isinstance(part, Not):
+            inner = part.part
+            if isinstance(inner, And):
+                part = Or([Not(p) for p in inner.parts])
+            elif isinstance(inner, Or):
+                part = And([Not(p) for p in inner.parts])
+            elif isinstance(inner, Not):
+                return NullRejecting(inner.part).bind(schema)
+        if isinstance(part, (And, Or)):
+            bound = [NullRejecting(p).bind(schema) for p in part.parts]
+            if isinstance(part, And):
+                return lambda row: all(f(row) for f in bound)
+            return lambda row: any(f(row) for f in bound)
+        fn = part.bind(schema)
+        positions = sorted(schema.index_of(c) for c in part.columns())
+
+        def null_safe(row: Row) -> bool:
+            for pos in positions:
+                if row[pos] is None:
+                    return False
+            return fn(row)
+
+        return null_safe
+
+    def columns(self) -> set[str]:
+        return self.part.columns()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.part)
+
+
 class Not(Predicate):
     """Negation of a predicate."""
 
@@ -642,8 +693,20 @@ def extract_range(predicate: Predicate,
 
 
 def conjunction(parts: Iterable[Predicate]) -> Predicate:
-    """AND together ``parts``, simplifying the empty and singleton cases."""
-    flat = [p for p in parts if not isinstance(p, TruePredicate)]
+    """AND together ``parts``, simplifying the empty and singleton cases.
+
+    Nested conjunctions are flattened, so chained ``conjunction`` calls
+    (e.g. repeated ``Query.where``) keep every conjunct at the top
+    level — where planners split, push down and extract ranges.
+    """
+    flat: list[Predicate] = []
+    for p in parts:
+        if isinstance(p, TruePredicate):
+            continue
+        if isinstance(p, And):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
     if not flat:
         return TruePredicate()
     if len(flat) == 1:

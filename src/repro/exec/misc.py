@@ -172,6 +172,43 @@ class Limit(Operator):
             yield batch
 
 
+class RowCounter(Operator):
+    """A transparent pass-through that records its output cardinality.
+
+    The planner wraps every plan-tree node with one so ``explain()`` can
+    report actual alongside estimated rows.  It charges nothing and never
+    re-chunks, so a counted plan produces byte-identical rows and
+    identical simulated costs to the bare tree.  It also hides itself
+    from plan rendering: ``name()`` and ``children()`` delegate to the
+    wrapped operator, so :func:`~repro.exec.iterator.explain` output is
+    unchanged.
+    """
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self.schema = child.schema
+        #: Rows produced by the most recent execution; None before any.
+        self.rows_seen: int | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return self.child.children()
+
+    def name(self) -> str:
+        return self.child.name()
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        self.rows_seen = 0
+        for row in self.child.rows(ctx):
+            self.rows_seen += 1
+            yield row
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        self.rows_seen = 0
+        for batch in self.child.batches(ctx):
+            self.rows_seen += len(batch)
+            yield batch
+
+
 class Materialize(Operator):
     """Run the child once, cache its output, replay it on re-execution.
 

@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.reporting import format_table
-from repro.bench.runner import run_cold
-from repro.experiments.fig1 import Fig1Setup, make_tuned_tpch
+from repro.exec.stats import RunResult
+from repro.experiments.fig1 import Fig1Setup, make_tuned_tpch, run_tpch_query
 from repro.workloads.tpch.queries import FIGURE4_QUERIES, TpchPlanBuilder
 
 MODES = ("pSQL", "pSQL+SmoothScan")
@@ -94,15 +94,19 @@ def run_fig4(scale_factor: float = 0.01,
     )
     for mode, builder_mode in zip(MODES, ("tuned", "smooth")):
         builder = TpchPlanBuilder(setup.db, setup.catalog, builder_mode)
-        for name, (query_fn, _label) in FIGURE4_QUERIES.items():
-            plan = query_fn(builder)
-            m = run_cold(setup.db, f"{mode}:{name}", plan)
-            result.data[(name, mode)] = QueryBreakdown(
-                total_s=m.seconds,
-                cpu_s=m.result.cpu_ms / 1000.0,
-                io_wait_s=m.result.io_ms / 1000.0,
-                io_requests=m.result.disk.requests,
-                read_gb=m.result.read_gb,
-                rows=m.result.row_count,
-            )
+        for name in FIGURE4_QUERIES:
+            run = run_tpch_query(setup, builder, name)
+            result.data[(name, mode)] = _breakdown(run)
     return result
+
+
+def _breakdown(run: RunResult) -> QueryBreakdown:
+    """One measured run folded into Figure 4 / Table II columns."""
+    return QueryBreakdown(
+        total_s=run.total_seconds,
+        cpu_s=run.cpu_ms / 1000.0,
+        io_wait_s=run.io_ms / 1000.0,
+        io_requests=run.disk.requests,
+        read_gb=run.read_gb,
+        rows=run.row_count,
+    )

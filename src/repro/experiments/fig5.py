@@ -16,15 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.reporting import format_table
-from repro.bench.runner import run_cold
 from repro.experiments.common import (
     COARSE_GRID_PCT,
     DEFAULT_MICRO_TUPLES,
     MicroSetup,
-    access_path_plan,
     make_micro_db,
 )
+from repro.optimizer.planner import PlannerOptions
 from repro.storage.disk import DiskProfile
+from repro.workloads.micro import selectivity_predicate
 
 PATHS = ("full", "index", "sort", "smooth")
 
@@ -64,12 +64,22 @@ def run_fig5(order_by: bool, num_tuples: int = DEFAULT_MICRO_TUPLES,
         seconds={p: [] for p in PATHS},
         rows={p: [] for p in PATHS},
     )
+    # The paper's micro query, stated declaratively once per point; each
+    # curve pins its access path through PlannerOptions.force_path and the
+    # planner lowers the same Query four ways (identical operators to the
+    # previously hand-built trees, decision trail included).
     for sel_pct in selectivities_pct:
         sel = sel_pct / 100.0
+        query = setup.db.query(setup.table.name).where(
+            selectivity_predicate(sel)
+        )
+        if order_by:
+            query = query.order_by("c2")
         for path in PATHS:
-            plan = access_path_plan(path, setup.table, sel,
-                                    order_by=order_by)
-            m = run_cold(setup.db, path, plan)
-            result.seconds[path].append(m.seconds)
-            result.rows[path].append(m.result.row_count)
+            res = setup.db.execute(
+                query, cold=True, keep_rows=False,
+                options=PlannerOptions(force_path=path),
+            )
+            result.seconds[path].append(res.total_seconds)
+            result.rows[path].append(res.row_count)
     return result

@@ -11,7 +11,19 @@ from repro.optimizer.costing import (
     cheapest_path,
     index_size_bytes,
 )
-from repro.optimizer.planner import PlanDecision, Planner, PlannerOptions
+from repro.optimizer.logical import (
+    JoinSpec,
+    MapSpec,
+    OrderItem,
+    QuerySpec,
+)
+from repro.optimizer.planner import (
+    PlanDecision,
+    PlanNode,
+    PlannedQuery,
+    Planner,
+    PlannerOptions,
+)
 from repro.optimizer.statistics import (
     ColumnStats,
     Histogram,
@@ -24,9 +36,15 @@ __all__ = [
     "ColumnStats",
     "Histogram",
     "IndexAdvisor",
+    "JoinSpec",
+    "MapSpec",
+    "OrderItem",
     "PlanDecision",
+    "PlanNode",
+    "PlannedQuery",
     "Planner",
     "PlannerOptions",
+    "QuerySpec",
     "Recommendation",
     "StatisticsCatalog",
     "TableStats",

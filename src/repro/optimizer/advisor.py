@@ -78,6 +78,7 @@ class IndexAdvisor:
                 table, self.db.config, self.db.profile, column, sel,
                 require_order=query.order_by is not None,
                 assume_index=True,
+                index_satisfies_order=query.order_by == column,
             )
             by_name = {p.path: p.cost for p in paths}
             with_index = min(

@@ -85,13 +85,17 @@ def estimate_selectivity(catalog: StatisticsCatalog, table_name: str,
 
 def estimate_cardinality(catalog: StatisticsCatalog, table_name: str,
                          predicate: Predicate,
-                         fallback_rows: int | None = None) -> int:
+                         fallback_rows: int | None = None,
+                         selectivity: float | None = None) -> int:
     """Estimated result rows: selectivity × (believed) row count.
 
     The row count comes from the catalog when available (which may be
-    stale!), else ``fallback_rows``.
+    stale!), else ``fallback_rows``.  A caller that already computed the
+    predicate's selectivity passes it via ``selectivity`` to skip the
+    re-estimation.
     """
-    sel = estimate_selectivity(catalog, table_name, predicate)
+    sel = selectivity if selectivity is not None else \
+        estimate_selectivity(catalog, table_name, predicate)
     if catalog.has_table(table_name):
         rows = catalog.table_stats(table_name).row_count
     elif fallback_rows is not None:

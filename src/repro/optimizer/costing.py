@@ -49,28 +49,36 @@ def candidate_paths(table: Table, config: EngineConfig,
                     profile: DiskProfile, column: str | None,
                     selectivity: float, require_order: bool = False,
                     enable_smooth: bool = False,
-                    assume_index: bool = False) -> list[AccessPathCost]:
+                    assume_index: bool = False,
+                    index_satisfies_order: bool = True
+                    ) -> list[AccessPathCost]:
     """All viable access paths for one scan, costed at ``selectivity``.
 
     ``column`` is the indexed column usable for the predicate (None when
     no index applies — then only the full scan qualifies).  With
     ``require_order`` the posterior sort penalty is added to paths that
-    do not emit in key order.  ``assume_index`` costs the index paths even
-    when the index does not exist yet (what-if costing for the advisor).
+    do not emit in the requested order; key-ordered paths (index,
+    smooth) escape it only while ``index_satisfies_order`` holds, i.e.
+    the requested order is on ``column`` itself.  ``assume_index`` costs
+    the index paths even when the index does not exist yet (what-if
+    costing for the advisor).
     """
     indexed = column is not None and (table.has_index(column) or assume_index)
     key_column = column if indexed else table.schema.column_names[0]
     p = params_for(table, config, profile, key_column, selectivity)
     sort_penalty = sort_cpu_cost(p.cardinality, profile,
                                  config.cpu.compare) if require_order else 0.0
+    key_ordered = not require_order or index_satisfies_order
+    key_penalty = 0.0 if key_ordered else sort_penalty
     paths = [
         AccessPathCost("full", formulas.full_scan_cost(p) + sort_penalty,
                        ordered_output=not require_order)
     ]
     if indexed:
         paths.append(
-            AccessPathCost("index", formulas.index_scan_cost(p),
-                           ordered_output=True)
+            AccessPathCost("index",
+                           formulas.index_scan_cost(p) + key_penalty,
+                           ordered_output=key_ordered)
         )
         paths.append(
             AccessPathCost("sort",
@@ -79,8 +87,9 @@ def candidate_paths(table: Table, config: EngineConfig,
         )
         if enable_smooth:
             paths.append(
-                AccessPathCost("smooth", formulas.smooth_scan_cost(p),
-                               ordered_output=True)
+                AccessPathCost("smooth",
+                               formulas.smooth_scan_cost(p) + key_penalty,
+                               ordered_output=key_ordered)
             )
     return paths
 

@@ -23,7 +23,7 @@ of study — unchanged.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.database import Database
 from repro.errors import PlanningError
@@ -52,7 +52,27 @@ from repro.optimizer.statistics import StatisticsCatalog
 from repro.storage.types import Column, ColumnType, Schema
 from repro.workloads.tpch.schema import date
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.query import Query
+
 _MODES = ("original", "tuned", "smooth")
+
+
+def mode_options(mode: str) -> PlannerOptions:
+    """The PlannerOptions equivalent of a Figure-1 execution mode.
+
+    ``original`` disables every secondary-index path (full scans + hash
+    joins only), ``tuned`` is the cost-based default, ``smooth`` replaces
+    every base access path with a Smooth Scan (§IV-B).  Feeding these to
+    :meth:`~repro.optimizer.planner.Planner.plan_query` reproduces the
+    same physical plans the hand-built query trees use.
+    """
+    if mode not in _MODES:
+        raise PlanningError(f"mode must be one of {_MODES}, got {mode!r}")
+    if mode == "original":
+        return PlannerOptions(enable_index=False, enable_sort_scan=False,
+                              enable_inlj=False)
+    return PlannerOptions(enable_smooth=(mode == "smooth"))
 
 
 class TpchPlanBuilder:
@@ -60,15 +80,10 @@ class TpchPlanBuilder:
 
     def __init__(self, db: Database, catalog: StatisticsCatalog,
                  mode: str = "tuned"):
-        if mode not in _MODES:
-            raise PlanningError(f"mode must be one of {_MODES}, got {mode!r}")
         self.db = db
         self.catalog = catalog
         self.mode = mode
-        self._planner = Planner(
-            db, catalog,
-            PlannerOptions(enable_smooth=(mode == "smooth")),
-        )
+        self._planner = Planner(db, catalog, mode_options(mode))
 
     # -- scans ---------------------------------------------------------------
 
@@ -120,17 +135,10 @@ class TpchPlanBuilder:
 
     def _inlj_beats_hash(self, est_outer_rows: int, inner_table: str,
                          inner_key: str) -> bool:
-        inner = self.db.table(inner_table)
-        profile = self.db.profile
-        index = inner.index_on(inner_key)
-        matches = max(1.0, inner.row_count / max(1, len(index)))
-        inlj = est_outer_rows * (index.height + matches) * profile.rand_cost
-        hash_cpu_units = (
-            (est_outer_rows + inner.row_count)
-            * self.db.config.cpu.hash_op / profile.ms_per_unit
+        costs = self._planner.join_method_costs(
+            est_outer_rows, inner_table, inner_key
         )
-        hash_cost = inner.num_pages * profile.seq_cost + hash_cpu_units
-        return inlj < hash_cost
+        return costs["inlj"] < costs["hash"]
 
     # -- estimates -------------------------------------------------------------
 
@@ -626,3 +634,83 @@ def build_query(name: str, builder: TpchPlanBuilder) -> Operator:
             f"unknown TPC-H query {name!r}; "
             f"available: {sorted(FIGURE1_QUERIES)}"
         ) from None
+
+
+# ---------------------------------------------------------------------------
+# Declarative (fluent) definitions
+# ---------------------------------------------------------------------------
+#
+# The queries whose shapes the fluent API can express exactly are also
+# defined declaratively; the Figure 1/4 drivers run these through
+# ``Database.execute`` + ``Planner.plan_query`` — the same code path
+# applications use — while the rest keep their raw operator trees above.
+# ``plan_query`` under :func:`mode_options` lowers each of these to the
+# identical physical plan the hand-built tree produces, so measurements
+# are unchanged; what's gained is the decision trail and explain().
+
+def fluent_q1(db: Database) -> "Query":
+    """Q1 as a declarative query (scan → group/aggregate → sort)."""
+    s = db.table("lineitem").schema
+    pe, pd, pt = (s.index_of("l_extendedprice"), s.index_of("l_discount"),
+                  s.index_of("l_tax"))
+    return (
+        db.query("lineitem")
+        .where(Comparison("l_shipdate", CompareOp.LE, date(1998, 9, 2)))
+        .group_by("l_returnflag", "l_linestatus")
+        .aggregate(
+            AggSpec("sum", "sum_qty", column="l_quantity"),
+            AggSpec("sum", "sum_base_price", column="l_extendedprice"),
+            AggSpec("sum", "sum_disc_price",
+                    value=lambda r: r[pe] * (1 - r[pd])),
+            AggSpec("sum", "sum_charge",
+                    value=lambda r: r[pe] * (1 - r[pd]) * (1 + r[pt])),
+            AggSpec("avg", "avg_qty", column="l_quantity"),
+            AggSpec("avg", "avg_price", column="l_extendedprice"),
+            AggSpec("avg", "avg_disc", column="l_discount"),
+            AggSpec("count", "count_order"),
+        )
+        .order_by("l_returnflag", "l_linestatus")
+    )
+
+
+def fluent_q6(db: Database) -> "Query":
+    """Q6 as a declarative query (scan → scalar aggregate)."""
+    s = db.table("lineitem").schema
+    pe, pd = s.index_of("l_extendedprice"), s.index_of("l_discount")
+    return (
+        db.query("lineitem")
+        .where(
+            Between("l_shipdate", date(1994, 1, 1), date(1995, 1, 1)),
+            Between("l_discount", 0.05, 0.07, hi_inclusive=True),
+            Comparison("l_quantity", CompareOp.LT, 24),
+        )
+        .aggregate(AggSpec("sum", "revenue",
+                           value=lambda r: r[pe] * r[pd]))
+    )
+
+
+def fluent_q14(db: Database) -> "Query":
+    """Q14 as a declarative query (join → scalar aggregates → map)."""
+    line = db.table("lineitem").schema
+    part = db.table("part").schema
+    joined = Schema(list(line.columns) + list(part.columns))
+    pe, pd = joined.index_of("l_extendedprice"), joined.index_of("l_discount")
+    pt = joined.index_of("p_type")
+    return (
+        db.query("lineitem")
+        .where(Between("l_shipdate", date(1995, 9, 1), date(1995, 10, 1)))
+        .join("part", on=("l_partkey", "p_partkey"))
+        .aggregate(
+            AggSpec("sum", "promo_revenue",
+                    value=lambda r: r[pe] * (1 - r[pd])
+                    if r[pt].startswith("PROMO") else 0.0),
+            AggSpec("sum", "total_revenue",
+                    value=lambda r: r[pe] * (1 - r[pd])),
+        )
+        .map(Schema([Column("promo_pct", ColumnType.FLOAT)]),
+             lambda r: ((100.0 * r[0] / r[1]) if r[1] else 0.0,))
+    )
+
+
+#: Queries the Figure 1/4 drivers run through the declarative API.
+FLUENT_QUERIES = {"Q1": fluent_q1, "Q6": fluent_q6, "Q14": fluent_q14}

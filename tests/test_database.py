@@ -38,6 +38,34 @@ def test_create_index_registers_and_fills(db):
     assert not table.has_index("b")
 
 
+def test_duplicate_index_rejected(db):
+    db.load_table("t", Schema.of_ints(["a", "b"]),
+                  ((i, i % 7) for i in range(100)))
+    first = db.create_index("t", "b")
+    with pytest.raises(StorageError):
+        db.create_index("t", "b")
+    # The original index stays registered and intact.
+    assert db.table("t").index_on("b") is first
+    assert len(first) == 100
+
+
+def test_drop_missing_index_rejected(db):
+    db.load_table("t", Schema.of_ints(["a", "b"]), [])
+    with pytest.raises(StorageError):
+        db.drop_index("t", "b")
+    with pytest.raises(StorageError):
+        db.drop_index("missing", "b")
+
+
+def test_drop_then_recreate_index(db):
+    db.load_table("t", Schema.of_ints(["a", "b"]),
+                  ((i, i % 7) for i in range(50)))
+    db.create_index("t", "b")
+    db.drop_index("t", "b")
+    rebuilt = db.create_index("t", "b")  # rebuild after drop is fine
+    assert db.table("t").index_on("b") is rebuilt
+
+
 def test_insert_maintains_indexes(db):
     table = db.load_table("t", Schema.of_ints(["a", "b"]), [])
     db.create_index("t", "b")

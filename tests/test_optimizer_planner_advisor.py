@@ -7,7 +7,7 @@ import pytest
 from repro.config import EngineConfig
 from repro.core.smooth_scan import SmoothScan
 from repro.database import Database
-from repro.exec.expressions import Between, Comparison, CompareOp
+from repro.exec.expressions import Between, Comparison, CompareOp, KeyRange
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
 from repro.exec.sort import Sort
 from repro.exec.stats import measure
@@ -121,6 +121,116 @@ def test_misestimated_plan_is_the_papers_trap(planned):
     _op, decision = planner.plan_scan("t", Between("c2", 0, 2_000))
     assert decision.estimated_cardinality < 200  # wildly wrong
     # The chosen path's estimated cost looked fine; execution won't be.
+
+
+# -- index opportunity selection --------------------------------------------
+
+@pytest.fixture()
+def two_indexed():
+    """c2 uniform over 100K, c3 uniform over 100; both indexed (c2 first)."""
+    db = Database()
+    rng = random.Random(17)
+    table = db.load_table(
+        "t", Schema.of_ints(["c1", "c2", "c3", "c4"]),
+        ((i, rng.randrange(100_000), rng.randrange(100),
+          rng.randrange(10)) for i in range(20_000)),
+    )
+    db.create_index("t", "c2")
+    db.create_index("t", "c3")
+    return db, table
+
+
+def test_index_opportunity_prefers_tighter_range(two_indexed):
+    db, table = two_indexed
+    catalog = StatisticsCatalog()
+    catalog.analyze(table, columns=["c2", "c3"])
+    planner = Planner(db, catalog)
+    pred = Between("c2", 0, 50_000) & Between("c3", 0, 5)
+    op, decision = planner.plan_scan("t", pred)
+    # ~5% on c3 beats ~50% on c2: the tighter estimated range drives.
+    assert decision.column == "c3"
+    # The c2 conjunct survives as the access path's residual predicate.
+    assert isinstance(op, (IndexScan, SortScan, FullTableScan))
+    if not isinstance(op, FullTableScan):
+        assert op.residual == Between("c2", 0, 50_000)
+
+
+def test_index_opportunity_tie_breaks_by_index_order(two_indexed):
+    db, _table = two_indexed
+    # No statistics: both ranges estimate to the same magic default, so
+    # the tie resolves to the first index registered (c2).
+    planner = Planner(db, StatisticsCatalog())
+    pred = Between("c2", 0, 10) & Between("c3", 0, 10)
+    _op, decision = planner.plan_scan("t", pred)
+    assert decision.column == "c2"
+
+
+def test_residual_preserved_on_forced_index(two_indexed):
+    db, table = two_indexed
+    catalog = StatisticsCatalog()
+    catalog.analyze(table, columns=["c2", "c3"])
+    planner = Planner(db, catalog, PlannerOptions(force_path="index"))
+    residual = Comparison("c4", CompareOp.EQ, 3)
+    op, decision = planner.plan_scan("t", Between("c3", 0, 5) & residual)
+    assert isinstance(op, IndexScan) and decision.column == "c3"
+    assert op.residual == residual
+    assert op.key_range == KeyRange(0, 5)
+    # Executed rows honor both the range and the residual.
+    rows = measure(db, op).rows
+    assert rows and all(0 <= r[2] < 5 and r[3] == 3 for r in rows)
+
+
+def test_order_by_index_used_when_predicate_has_no_range(two_indexed):
+    db, table = two_indexed
+    catalog = StatisticsCatalog()
+    catalog.analyze(table)
+    planner = Planner(db, catalog)
+    pred = Comparison("c4", CompareOp.EQ, 3)
+    op, decision = planner.plan_scan("t", pred, order_by="c2")
+    # No range on any indexed column: the c2 index still qualifies via
+    # the requested order, with the whole predicate as residual.
+    assert decision.column == "c2"
+    rows = measure(db, op).rows
+    keys = [r[1] for r in rows]
+    assert keys == sorted(keys) and all(r[3] == 3 for r in rows)
+
+
+def test_order_by_other_column_penalizes_index_path(two_indexed):
+    db, table = two_indexed
+    catalog = StatisticsCatalog()
+    catalog.analyze(table, columns=["c2", "c3"])
+    planner = Planner(db, catalog)
+    pred = Between("c3", 0, 40)
+    # Ordering on a column the chosen index does NOT provide: the index
+    # path pays the posterior sort penalty like everyone else.
+    _op, plain = planner.plan_scan("t", pred)
+    _op, ordered = planner.plan_scan("t", pred, order_by="c2")
+    penalty = ordered.alternatives["index"] - plain.alternatives["index"]
+    assert penalty > 0
+    # Ordering on the index's own column stays penalty-free.
+    _op, matching = planner.plan_scan("t", pred, order_by="c3")
+    assert matching.alternatives["index"] == plain.alternatives["index"]
+    assert ordered.estimated_cost == min(ordered.alternatives.values())
+
+
+def test_enable_flags_filter_alternatives(two_indexed):
+    db, table = two_indexed
+    catalog = StatisticsCatalog()
+    catalog.analyze(table, columns=["c2", "c3"])
+    pred = Between("c3", 0, 5)
+    cases = [
+        (PlannerOptions(), {"full", "index", "sort"}),
+        (PlannerOptions(enable_index=False), {"full", "sort"}),
+        (PlannerOptions(enable_sort_scan=False), {"full", "index"}),
+        (PlannerOptions(enable_index=False, enable_sort_scan=False),
+         {"full"}),
+    ]
+    for options, expected in cases:
+        planner = Planner(db, catalog, options)
+        _op, decision = planner.plan_scan("t", pred)
+        assert set(decision.alternatives) == expected
+        assert decision.path in expected
+        assert decision.estimated_cost == min(decision.alternatives.values())
 
 
 # -- advisor ----------------------------------------------------------------
