@@ -41,7 +41,7 @@ from repro.core import (
     SwitchScan,
 )
 from repro.database import Database
-from repro.errors import ReproError
+from repro.errors import ReproError, SqlError
 from repro.optimizer import (
     PlanDecision,
     PlannedQuery,
@@ -97,6 +97,7 @@ __all__ = [
     "SelectivityIncreasePolicy",
     "SmoothScan",
     "SortScan",
+    "SqlError",
     "StatisticsCatalog",
     "SwitchScan",
     "measure",

@@ -105,11 +105,19 @@ class Database:
         return table
 
     def table(self, name: str) -> Table:
-        """Look up a table by name."""
+        """Look up a table by name.
+
+        The error names the missing table *and* lists the known ones —
+        the difference between a typo hunt and a one-glance fix when the
+        lookup comes from SQL text or the fluent API.
+        """
         try:
             return self.tables[name]
         except KeyError:
-            raise StorageError(f"no table named {name!r}") from None
+            known = ", ".join(sorted(self.tables)) or "(no tables loaded)"
+            raise StorageError(
+                f"no table named {name!r}; known tables: {known}"
+            ) from None
 
     def create_index(self, table_name: str, column: str,
                      name: str | None = None) -> BTreeIndex:
@@ -163,6 +171,18 @@ class Database:
             self._catalog = StatisticsCatalog()
         return self._catalog
 
+    def use_catalog(self, catalog: "StatisticsCatalog") -> None:
+        """Install an externally-built statistics catalog as this
+        database's own.
+
+        Experiment setups deliberately build *stale* catalogs (analyzed
+        before late data arrived); installing one here makes every
+        facade entry point (``query``/``sql``/``explain``) plan against
+        those wrong numbers — the regime the paper studies — without
+        callers having to thread the catalog through each call.
+        """
+        self._catalog = catalog
+
     def analyze(self, table_name: str | None = None,
                 **kwargs) -> "StatisticsCatalog":
         """Collect statistics for one table (or all) into the catalog.
@@ -215,6 +235,44 @@ class Database:
         planned.reset_counters()
         run = measure(self, planned.root, cold=cold, keep_rows=keep_rows)
         return QueryResult(planned, run)
+
+    # -- SQL ------------------------------------------------------------
+
+    def sql(self, text: str, *, cold: bool = True, keep_rows: bool = True,
+            options: "PlannerOptions | None" = None,
+            catalog: "StatisticsCatalog | None" = None
+            ) -> "QueryResult | str":
+        """Execute one SQL statement (the textual twin of :meth:`execute`).
+
+        The statement is lexed, parsed and bound onto a
+        :class:`~repro.optimizer.logical.QuerySpec`, then planned and
+        measured exactly like a fluent query.  Hint comments
+        (``/*+ force_path(smooth) */``, ``/*+ no_inlj */``) layer onto
+        ``options``; an ``EXPLAIN SELECT ...`` statement returns the
+        rendered plan tree (a string) without executing.
+        """
+        from repro.sql import compile_statement
+        bound = compile_statement(self, text)
+        opts = bound.planner_options(options)
+        if bound.explain:
+            return self.plan(bound.spec, options=opts,
+                             catalog=catalog).render()
+        return self.execute(bound.spec, cold=cold, keep_rows=keep_rows,
+                            options=opts, catalog=catalog)
+
+    def explain(self, text: str,
+                options: "PlannerOptions | None" = None,
+                catalog: "StatisticsCatalog | None" = None) -> str:
+        """The plan tree for a SQL statement, without executing it.
+
+        Accepts plain ``SELECT ...`` as well as ``EXPLAIN SELECT ...``;
+        estimates are filled in, actual rows render as ``?`` until the
+        query runs.
+        """
+        from repro.sql import compile_statement
+        bound = compile_statement(self, text)
+        return self.plan(bound.spec, options=bound.planner_options(options),
+                         catalog=catalog).render()
 
     # -- physical execution ---------------------------------------------
 

@@ -40,6 +40,16 @@ class PlanningError(ReproError):
     """The optimizer could not produce a plan for the request."""
 
 
+class SqlError(PlanningError):
+    """A SQL statement failed to lex, parse or bind.
+
+    Messages are position-annotated (line, column, and a caret under the
+    offending token) so REPL users see *where* the statement broke.
+    Subclassing :class:`PlanningError` keeps the contract that everything
+    between query text and physical plan raises through one family.
+    """
+
+
 class StatisticsError(ReproError):
     """Statistics were requested for an unknown table or column."""
 

@@ -19,6 +19,28 @@ from repro.storage.types import Column, ColumnType, Row, Schema
 _SUPPORTED = ("sum", "count", "avg", "min", "max")
 
 
+def aggregate_output_columns(schema: "Schema", group_by: Sequence[str],
+                             aggs: Sequence["AggSpec"]) -> list[Column]:
+    """The output layout of an aggregation: group keys, then aggregates.
+
+    The single source of truth for the schema rule — shared by
+    :class:`HashAggregate` and by planners/binders that must predict the
+    aggregate's output before building it.  Counts are INT; min/max of a
+    plain column keep that column's type (and CHAR width); everything
+    else uses the spec's declared ``ctype``.
+    """
+    columns = [schema.columns[schema.index_of(c)] for c in group_by]
+    for spec in aggs:
+        if spec.func == "count":
+            columns.append(Column(spec.output, ColumnType.INT))
+        elif spec.func in ("min", "max") and spec.column is not None:
+            src = schema.columns[schema.index_of(spec.column)]
+            columns.append(Column(spec.output, src.ctype, src.length))
+        else:
+            columns.append(Column(spec.output, spec.ctype))
+    return columns
+
+
 @dataclass(frozen=True)
 class AggSpec:
     """One aggregate output.
@@ -102,15 +124,9 @@ class HashAggregate(Operator):
                 self._getters.append(lambda row, _p=pos: row[_p])
             else:
                 self._getters.append(None)  # count(*)
-        out_columns = [
-            child.schema.columns[p] for p in self._group_positions
-        ]
-        out_columns += [
-            Column(spec.output,
-                   ColumnType.INT if spec.func == "count" else spec.ctype)
-            for spec in self.aggs
-        ]
-        self.schema = Schema(out_columns)
+        self.schema = Schema(
+            aggregate_output_columns(child.schema, self.group_by, self.aggs)
+        )
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)

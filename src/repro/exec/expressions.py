@@ -227,10 +227,13 @@ class Between(Predicate):
     def columns(self) -> set[str]:
         return {self.column}
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        lo_b = "<=" if self.lo_inclusive else "<"
-        hi_b = "<=" if self.hi_inclusive else "<"
-        return f"{self.lo!r} {lo_b} {self.column} {hi_b} {self.hi!r}"
+    def __repr__(self) -> str:
+        if self.lo_inclusive and self.hi_inclusive:
+            return f"{self.column} BETWEEN {self.lo!r} AND {self.hi!r}"
+        lo_op = ">=" if self.lo_inclusive else ">"
+        hi_op = "<=" if self.hi_inclusive else "<"
+        return (f"{self.column} {lo_op} {self.lo!r} AND "
+                f"{self.column} {hi_op} {self.hi!r}")
 
 
 @dataclass(frozen=True)
@@ -263,6 +266,10 @@ class InList(Predicate):
 
     def columns(self) -> set[str]:
         return {self.column}
+
+    def __repr__(self) -> str:
+        items = ", ".join(repr(v) for v in self.values)
+        return f"{self.column} IN ({items})"
 
 
 class And(Predicate):
@@ -415,6 +422,9 @@ class Not(Predicate):
 
     def columns(self) -> set[str]:
         return self.part.columns()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.part!r})"
 
 
 @dataclass(frozen=True)
@@ -670,6 +680,22 @@ def extract_range(predicate: Predicate,
             KeyRange(predicate.lo, predicate.hi,
                      predicate.lo_inclusive, predicate.hi_inclusive),
             TruePredicate(),
+        )
+    if isinstance(predicate, InList) and predicate.column == column \
+            and predicate.values:
+        # IN (v1..vn) is bounded by [min, max]; the range over-approximates
+        # membership, so the whole InList stays as the residual re-check.
+        # This is what lets a SQL ``IN`` filter ride an index/smooth path
+        # instead of forcing a full scan.
+        try:
+            lo, hi = min(predicate.values), max(predicate.values)
+        except TypeError:
+            # Mixed/unorderable values have no key range; membership via
+            # the frozenset-based bind still works, so stay opaque.
+            return None, predicate
+        return (
+            KeyRange(lo, hi, lo_inclusive=True, hi_inclusive=True),
+            predicate,
         )
     if isinstance(predicate, And):
         combined: KeyRange | None = None

@@ -50,8 +50,9 @@ from repro.optimizer.logical import JoinSpec, QuerySpec
 from repro.optimizer.statistics import StatisticsCatalog
 from repro.storage.table import Table
 
-#: Paths ``PlannerOptions.force_path`` accepts.
-_FORCEABLE_PATHS = ("full", "index", "sort", "smooth")
+#: Paths ``PlannerOptions.force_path`` accepts (shared with the SQL
+#: binder's ``force_path(...)`` hint validation).
+FORCEABLE_PATHS = ("full", "index", "sort", "smooth")
 
 
 @dataclass
@@ -79,9 +80,9 @@ class PlannerOptions:
 
     def __post_init__(self) -> None:
         if self.force_path is not None \
-                and self.force_path not in _FORCEABLE_PATHS:
+                and self.force_path not in FORCEABLE_PATHS:
             raise PlanningError(
-                f"force_path must be one of {_FORCEABLE_PATHS}, "
+                f"force_path must be one of {FORCEABLE_PATHS}, "
                 f"got {self.force_path!r}"
             )
 

@@ -1,0 +1,52 @@
+"""SQL front end: lexer → parser → binder → :class:`QuerySpec`.
+
+The paper's contract is declarative: users state *what* they want and the
+engine picks access paths safely at runtime (§IV-B).  PR 2 built the
+planner half; this package adds the textual half, so a statement like::
+
+    SELECT l_returnflag, sum(l_quantity) AS qty
+    FROM lineitem
+    WHERE l_shipdate <= DATE '1998-09-02'
+    GROUP BY l_returnflag
+
+lowers onto the very same :class:`~repro.optimizer.logical.QuerySpec` /
+:meth:`~repro.optimizer.planner.Planner.plan_query` path the fluent API
+uses — measurement-identically, as the TPC-H tests assert.  Planner
+hints ride in comments (``/*+ force_path(smooth) */``, ``/*+ no_inlj */``)
+and ``EXPLAIN SELECT ...`` renders the estimated-vs-actual plan tree.
+
+Entry points:
+
+* :func:`compile_statement` — text → :class:`BoundStatement` (spec +
+  hint-derived options + explain flag).
+* :meth:`repro.database.Database.sql` / ``.explain`` — the one-call
+  facade applications use.
+* ``python -m repro.sql`` — an interactive REPL over a loaded workload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sql.binder import Binder, BoundStatement, VALID_HINTS
+from repro.sql.lexer import Lexer, Token, tokenize
+from repro.sql.parser import parse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.database import Database
+
+__all__ = [
+    "Binder",
+    "BoundStatement",
+    "Lexer",
+    "Token",
+    "VALID_HINTS",
+    "compile_statement",
+    "parse",
+    "tokenize",
+]
+
+
+def compile_statement(db: "Database", text: str) -> BoundStatement:
+    """Parse and bind one SQL statement against ``db``'s catalog."""
+    return Binder(db, text).bind(parse(text))

@@ -1,0 +1,8 @@
+"""``python -m repro.sql`` — the interactive SQL shell."""
+
+import sys
+
+from repro.sql.repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""An interactive SQL shell over a loaded workload.
+
+Run with ``python -m repro.sql``.  By default it loads the paper's
+micro-benchmark table (indexes on ``c1``/``c2``) and collects statistics;
+``--tpch SF`` loads the tuned TPC-H-lite setup of Figures 1/4 instead —
+stale statistics, advisor indexes and all, so the estimation traps are
+live at the prompt.
+
+Statements end with ``;``.  ``EXPLAIN SELECT ...`` prints the plan tree
+without executing; plain selects print an aligned result table plus the
+measured simulated time and I/O.  Meta commands start with a backslash:
+
+    \\tables            list tables with row/page counts
+    \\schema <table>    show a table's columns and indexes
+    \\mode <m>          planner mode: original | tuned | smooth
+    \\analyze           refresh optimizer statistics (fresh, not stale)
+    \\help              this text
+    \\quit              exit (also: \\q, EOF)
+
+The prompt is suppressed when stdin is not a TTY, so scripted sessions
+(CI pipes a transcript through the REPL) produce clean output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Iterable
+
+from repro.database import Database
+from repro.errors import ReproError
+from repro.optimizer.planner import PlannerOptions
+
+_BANNER = (
+    "repro SQL shell — statements end with ';', \\help for help, "
+    "\\q to quit"
+)
+_HELP = """
+    \\tables            list tables with row/page counts
+    \\schema <table>    show a table's columns and indexes
+    \\mode <m>          planner mode: original | tuned | smooth
+    \\analyze           refresh optimizer statistics (fresh, not stale)
+    \\help              this text
+    \\quit              exit (also: \\q, EOF)
+"""
+
+#: Cap on rows printed per result; counts are always exact.
+DISPLAY_ROWS = 20
+
+
+class Repl:
+    """One shell session bound to one database."""
+
+    def __init__(self, db: Database, out: IO[str] | None = None,
+                 mode: str = "tuned"):
+        self.db = db
+        # Bound once, at construction — late enough for harnesses that
+        # swap sys.stdout before building the shell (capsys); pass
+        # ``out`` explicitly to redirect an already-built shell.
+        self.out = out if out is not None else sys.stdout
+        self.mode = mode
+
+    # -- top level -----------------------------------------------------------
+
+    def run(self, lines: Iterable[str], interactive: bool = False) -> None:
+        """Consume input lines until EOF or ``\\quit``."""
+        self._print(_BANNER)
+        buffer: list[str] = []
+        if interactive:
+            self._prompt(buffer)
+        for line in lines:
+            stripped = line.strip()
+            if not buffer and not stripped:
+                # Stray blank lines must not open a statement buffer, or
+                # the next meta command would be swallowed as SQL text.
+                if interactive:
+                    self._prompt(buffer)
+                continue
+            if not buffer and stripped.startswith(("\\", ".")):
+                if not self._meta(stripped.lstrip("\\.")):
+                    return
+                if interactive:
+                    self._prompt(buffer)
+                continue
+            # Lines keep their own newlines, so plain concatenation
+            # preserves the user's line numbering in error positions.
+            buffer.append(line if line.endswith("\n") else line + "\n")
+            if _statement_complete("".join(buffer)):
+                self._execute("".join(buffer))
+                buffer = []
+            if interactive:
+                self._prompt(buffer)
+        if buffer and "".join(buffer).strip():
+            self._execute("".join(buffer))
+
+    # -- pieces --------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _prompt(self, buffer: list[str]) -> None:
+        prompt = "   ...> " if buffer else "sql> "
+        self.out.write(prompt)
+        self.out.flush()
+
+    def _options(self) -> PlannerOptions:
+        from repro.workloads.tpch.queries import mode_options
+        return mode_options(self.mode)
+
+    def _meta(self, command: str) -> bool:
+        """Handle one meta command; False means "exit the shell"."""
+        parts = command.split()
+        name = parts[0].lower() if parts else ""
+        if name in ("q", "quit", "exit"):
+            return False
+        if name == "help":
+            self._print("Meta commands:" + _HELP.rstrip())
+        elif name == "tables":
+            for table in sorted(self.db.tables.values(),
+                                key=lambda t: t.name):
+                indexes = ", ".join(table.indexes) or "-"
+                self._print(
+                    f"{table.name:12} {table.row_count:>9} rows "
+                    f"{table.num_pages:>7} pages  indexes: {indexes}"
+                )
+        elif name == "schema" and len(parts) == 2:
+            try:
+                table = self.db.table(parts[1])
+            except ReproError as exc:
+                self._print(f"error: {exc}")
+                return True
+            for column in table.schema.columns:
+                marker = "  [indexed]" if column.name in table.indexes else ""
+                self._print(f"{column.name:20} {column.ctype.value}{marker}")
+        elif name == "mode" and len(parts) == 2:
+            if parts[1] not in ("original", "tuned", "smooth"):
+                self._print("error: mode must be original, tuned or smooth")
+            else:
+                self.mode = parts[1]
+                self._print(f"planner mode: {self.mode}")
+        elif name == "analyze":
+            self.db.analyze()
+            self._print("statistics refreshed")
+        else:
+            self._print(f"error: unknown command \\{command} "
+                        "(\\help lists commands)")
+        return True
+
+    def _execute(self, text: str) -> None:
+        if not text.strip().rstrip(";").strip():
+            return
+        try:
+            result = self.db.sql(text, options=self._options())
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+            return
+        except Exception as exc:  # the shell must survive any statement
+            self._print(f"error: {type(exc).__name__}: {exc}")
+            return
+        if isinstance(result, str):  # EXPLAIN
+            self._print(result)
+            return
+        self._print_table(result)
+        self._print(
+            f"({result.row_count} row"
+            f"{'' if result.row_count == 1 else 's'}, "
+            f"{result.total_seconds:.3f} s simulated, "
+            f"{result.disk.requests} I/O requests, "
+            f"{result.disk.bytes_read / 1e6:.1f} MB read)"
+        )
+
+    def _print_table(self, result) -> None:
+        names = list(result.plan.root.schema.column_names)
+        shown = result.rows[:DISPLAY_ROWS]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [
+            max(len(name), *(len(row[i]) for row in cells), 1)
+            if cells else len(name)
+            for i, name in enumerate(names)
+        ]
+        self._print(" | ".join(n.ljust(w) for n, w in zip(names, widths)))
+        self._print("-+-".join("-" * w for w in widths))
+        for row in cells:
+            self._print(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if len(result.rows) > DISPLAY_ROWS:
+            self._print(f"... ({len(result.rows) - DISPLAY_ROWS} more)")
+
+
+def _statement_complete(text: str) -> bool:
+    """True when the buffered text ends a statement with ``;``.
+
+    Quote- and comment-aware, so a ``;`` at the end of a line *inside*
+    a multi-line string literal or comment does not split the statement
+    early (the lexer would then see a truncated, invalid text).
+    """
+    in_string = False
+    last_significant = ""
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            if ch == "'":
+                if text[i + 1:i + 2] == "'":  # '' escapes a quote
+                    i += 2
+                    continue
+                in_string = False
+            i += 1
+            continue
+        if ch == "'":
+            in_string = True
+            i += 1
+            continue
+        if ch == "-" and text[i + 1:i + 2] == "-":
+            newline = text.find("\n", i)
+            if newline == -1:
+                break
+            i = newline + 1
+            continue
+        if ch == "/" and text[i + 1:i + 2] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                return False  # comment still open
+            i = end + 2
+            continue
+        if not ch.isspace():
+            last_significant = ch
+        i += 1
+    return not in_string and last_significant == ";"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if value is None:
+        return "NULL"
+    return str(value)
+
+
+def load_database(args: argparse.Namespace) -> tuple[Database, str]:
+    """Build the shell's database per CLI flags; returns (db, mode)."""
+    if args.tpch is not None:
+        from repro.experiments.fig1 import make_tuned_tpch
+        setup = make_tuned_tpch(scale_factor=args.tpch)
+        # The tuned setup's statistics are deliberately stale — install
+        # them as the database's own catalog so the traps stay live.
+        setup.db.use_catalog(setup.catalog)
+        return setup.db, "tuned"
+    from repro.workloads import build_micro_table
+    db = Database()
+    build_micro_table(db, num_tuples=args.rows)
+    db.analyze()
+    return db, "tuned"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sql",
+        description="Interactive SQL shell over a simulated workload.",
+    )
+    parser.add_argument("--rows", type=int, default=60_000,
+                        help="micro-table size (default 60000)")
+    parser.add_argument("--tpch", type=float, default=None, metavar="SF",
+                        help="load tuned TPC-H-lite at this scale factor "
+                             "instead of the micro table")
+    args = parser.parse_args(argv)
+    db, mode = load_database(args)
+    repl = Repl(db, mode=mode)
+    repl.run(sys.stdin, interactive=sys.stdin.isatty())
+    return 0

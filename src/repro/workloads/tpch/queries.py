@@ -714,3 +714,53 @@ def fluent_q14(db: Database) -> "Query":
 
 #: Queries the Figure 1/4 drivers run through the declarative API.
 FLUENT_QUERIES = {"Q1": fluent_q1, "Q6": fluent_q6, "Q14": fluent_q14}
+
+
+# ---------------------------------------------------------------------------
+# SQL definitions
+# ---------------------------------------------------------------------------
+#
+# The same queries as SQL text, entering through ``Database.sql`` — the
+# lexer → parser → binder pipeline.  Binding lowers each onto a QuerySpec
+# whose physical plan is measurement-identical to the FLUENT_QUERIES
+# counterpart under every mode (asserted by tests/test_sql_tpch.py):
+# bound ranges merge into the same Between predicates, aggregate
+# expressions compile into the same value callables, and Q14's
+# promo-share arithmetic becomes the same post-aggregation MapProject.
+
+SQL_QUERIES: dict[str, str] = {
+    "Q1": """
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity) AS sum_qty,
+               sum(l_extendedprice) AS sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))
+                   AS sum_charge,
+               avg(l_quantity) AS avg_qty,
+               avg(l_extendedprice) AS avg_price,
+               avg(l_discount) AS avg_disc,
+               count(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    "Q6": """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1995-01-01'
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    "Q14": """
+        SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                                THEN l_extendedprice * (1 - l_discount)
+                                ELSE 0.0 END)
+                     / sum(l_extendedprice * (1 - l_discount)) AS promo_pct
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        WHERE l_shipdate >= DATE '1995-09-01'
+          AND l_shipdate < DATE '1995-10-01'
+    """,
+}

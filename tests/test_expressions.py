@@ -155,6 +155,68 @@ def test_extract_range_or_is_opaque():
     assert residual is pred
 
 
+def test_extract_range_in_list_bounds_with_residual():
+    pred = InList("b", (30, 5, 12))
+    rng, residual = extract_range(pred, "b")
+    assert (rng.lo, rng.hi) == (5, 30)
+    assert rng.lo_inclusive and rng.hi_inclusive
+    # The range over-approximates membership: the full IN stays residual.
+    assert residual is pred
+
+
+def test_extract_range_in_list_conjunction_intersects():
+    pred = And([
+        InList("b", (5, 12, 30)),
+        Comparison("b", CompareOp.LT, 20),
+        Comparison("a", CompareOp.EQ, 1),
+    ])
+    rng, residual = extract_range(pred, "b")
+    assert (rng.lo, rng.hi) == (5, 20)
+    assert not rng.hi_inclusive
+    # Residual keeps both the membership check and the other column.
+    assert residual.columns() == {"a", "b"}
+
+
+def test_extract_range_in_list_respects_rows():
+    # Semantics check: range + residual together select exactly the
+    # IN members, as every index-driven path assumes.
+    schema = Schema.of_ints(["a", "b"])
+    rows = [(i, i % 7) for i in range(50)]
+    pred = InList("b", (2, 5))
+    rng, residual = extract_range(pred, "b")
+    matched = [
+        r for r in rows
+        if rng.contains(r[1]) and residual.bind(schema)(r)
+    ]
+    assert matched == [r for r in rows if r[1] in (2, 5)]
+
+
+def test_extract_range_empty_in_list_is_opaque():
+    pred = InList("b", ())
+    rng, residual = extract_range(pred, "b")
+    assert rng is None
+    assert residual is pred
+
+
+def test_extract_range_unorderable_in_list_is_opaque():
+    # Mixed-type IN lists bind fine (frozenset membership) but have no
+    # ordered bounds; they must stay opaque instead of raising.
+    pred = InList("b", (5, "x"))
+    rng, residual = extract_range(pred, "b")
+    assert rng is None
+    assert residual is pred
+
+
+def test_predicate_reprs_are_sqlish():
+    assert repr(Between("c2", 0, 20_000, hi_inclusive=True)) == \
+        "c2 BETWEEN 0 AND 20000"
+    assert repr(Between("c2", 0, 20_000)) == "c2 >= 0 AND c2 < 20000"
+    assert repr(InList("c2", (1, 2, 3))) == "c2 IN (1, 2, 3)"
+    assert repr(Not(Comparison("c2", CompareOp.EQ, 5))) == "NOT (c2 = 5)"
+    assert repr(And([Comparison("a", CompareOp.GT, 1),
+                     InList("b", (7,))])) == "(a > 1 AND b IN (7))"
+
+
 def test_conjunction_simplifies():
     assert isinstance(conjunction([]), TruePredicate)
     single = Comparison("a", CompareOp.EQ, 1)

@@ -1,0 +1,144 @@
+"""Golden tests for SQL error reporting.
+
+Error messages are part of the front end's contract: every failure names
+what went wrong, where (line, column, caret), and — for unknown names —
+what *would* have been accepted.  These tests pin exact message text, so
+format changes are deliberate.
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import SqlError, StorageError
+from repro.sql import compile_statement, parse
+from repro.storage.types import Column, ColumnType, Schema
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.load_table(
+        "micro",
+        Schema([Column("c1"), Column("c2"),
+                Column("tag", ColumnType.CHAR, 4)]),
+        [(i, i * 2, f"t{i:03d}") for i in range(100)],
+    )
+    return database
+
+
+def message_of(callable_, *args):
+    with pytest.raises(SqlError) as excinfo:
+        callable_(*args)
+    return str(excinfo.value)
+
+
+# -- lexer -------------------------------------------------------------------
+
+def test_unterminated_string_golden(db):
+    message = message_of(parse, "SELECT * FROM micro WHERE c1 = 'abc")
+    assert message == (
+        "unterminated string literal at line 1, column 32\n"
+        "  SELECT * FROM micro WHERE c1 = 'abc\n"
+        "                                 ^"
+    )
+
+
+def test_unterminated_comment(db):
+    message = message_of(parse, "SELECT * /* oops FROM micro")
+    assert "unterminated comment at line 1, column 10" in message
+
+
+# -- parser ------------------------------------------------------------------
+
+def test_misspelled_select_golden(db):
+    message = message_of(parse, "SELCT * FROM micro")
+    assert message == (
+        "expected keyword SELECT, got identifier 'SELCT' "
+        "at line 1, column 1\n"
+        "  SELCT * FROM micro\n"
+        "  ^"
+    )
+
+
+def test_misspelled_from_golden(db):
+    message = message_of(parse, "SELECT * FORM micro")
+    assert message == (
+        "expected keyword FROM, got identifier 'FORM' "
+        "at line 1, column 10\n"
+        "  SELECT * FORM micro\n"
+        "           ^"
+    )
+
+
+def test_position_tracks_multiline_statements(db):
+    message = message_of(parse, "SELECT *\nFROM micro\nWHERE c1 == 1")
+    assert "at line 3, column 11" in message
+    assert message.endswith("  WHERE c1 == 1\n            ^")
+
+
+# -- binder ------------------------------------------------------------------
+
+def test_unknown_table_lists_known(db):
+    message = message_of(compile_statement, db, "SELECT * FROM macro")
+    assert "unknown table 'macro'; known tables: micro" in message
+    assert "at line 1, column 1" in message
+
+
+def test_unknown_column_golden(db):
+    message = message_of(compile_statement, db,
+                         "SELECT * FROM micro WHERE c9 = 1")
+    assert message == (
+        "unknown column 'c9'; known columns: micro(c1, c2, tag) "
+        "at line 1, column 27\n"
+        "  SELECT * FROM micro WHERE c9 = 1\n"
+        "                            ^"
+    )
+
+
+def test_unknown_select_column_lists_known(db):
+    message = message_of(compile_statement, db, "SELECT nope FROM micro")
+    assert "unknown column 'nope'; known columns: micro(c1, c2, tag)" in message
+
+
+def test_bad_hint_name_golden(db):
+    message = message_of(compile_statement, db,
+                         "SELECT /*+ no_such_hint */ * FROM micro")
+    assert ("unknown hint 'no_such_hint'; valid hints: force_path, "
+            "no_inlj, no_index, no_sort_scan, smooth") in message
+    assert "at line 1, column 8" in message
+
+
+def test_bad_force_path_argument(db):
+    message = message_of(compile_statement, db,
+                         "SELECT /*+ force_path(warp) */ * FROM micro")
+    assert "force_path takes one of ('full', 'index', 'sort', 'smooth')" \
+        in message
+
+
+def test_malformed_hint_missing_paren(db):
+    message = message_of(compile_statement, db,
+                         "SELECT /*+ force_path(smooth */ * FROM micro")
+    assert "malformed hint" in message
+
+
+def test_unsupported_like_pattern(db):
+    message = message_of(
+        compile_statement, db,
+        "SELECT * FROM micro WHERE tag LIKE 'a%b%c'",
+    )
+    assert "unsupported LIKE pattern 'a%b%c'" in message
+
+
+# -- Database.table (non-SQL path shares the listing behaviour) --------------
+
+def test_database_table_error_lists_known(db):
+    with pytest.raises(StorageError) as excinfo:
+        db.table("macro")
+    assert str(excinfo.value) == \
+        "no table named 'macro'; known tables: micro"
+
+
+def test_database_table_error_when_empty():
+    with pytest.raises(StorageError) as excinfo:
+        Database().table("anything")
+    assert "known tables: (no tables loaded)" in str(excinfo.value)

@@ -1,0 +1,178 @@
+"""SQL lexer and parser: token shapes and AST structure.
+
+Binding and execution are covered elsewhere; these tests pin the purely
+syntactic layer — token positions, literal parsing, precedence, hint
+extraction and the value-vs-boolean parenthesis disambiguation.
+"""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import ast, parse, tokenize
+
+
+# -- lexer -------------------------------------------------------------------
+
+def test_tokenize_kinds_and_positions():
+    tokens = tokenize("SELECT c1\nFROM t")
+    kinds = [(t.kind, t.value) for t in tokens]
+    assert kinds == [
+        ("KEYWORD", "SELECT"), ("IDENT", "c1"),
+        ("KEYWORD", "FROM"), ("IDENT", "t"), ("EOF", None),
+    ]
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[2].line, tokens[2].column) == (2, 1)
+
+
+def test_tokenize_literals():
+    tokens = tokenize("12 3.5 'it''s' <> <=")
+    assert [t.value for t in tokens[:-1]] == [12, 3.5, "it's", "!=", "<="]
+    assert isinstance(tokens[0].value, int)
+    assert isinstance(tokens[1].value, float)
+
+
+def test_tokenize_skips_comments_but_keeps_hints():
+    tokens = tokenize(
+        "SELECT -- a line comment\n/* block */ /*+ no_inlj */ c1 FROM t"
+    )
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["KEYWORD", "HINT", "IDENT", "KEYWORD", "IDENT", "EOF"]
+    assert tokens[1].value == "no_inlj"
+
+
+def test_tokenize_keywords_are_case_insensitive():
+    tokens = tokenize("select From wHeRe")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+
+# -- parser ------------------------------------------------------------------
+
+def test_parse_minimal_select():
+    sel = parse("SELECT * FROM t")
+    assert sel.table == "t"
+    assert len(sel.items) == 1
+    assert isinstance(sel.items[0].expr, ast.Star)
+    assert not sel.explain
+    assert sel.where is None
+
+
+def test_parse_explain_flag():
+    assert parse("EXPLAIN SELECT * FROM t").explain
+    assert not parse("SELECT * FROM t;").explain
+
+
+def test_parse_where_precedence_or_over_and():
+    sel = parse("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+    assert isinstance(sel.where, ast.OrExpr)
+    left, right = sel.where.parts
+    assert isinstance(left, ast.AndExpr)
+    assert isinstance(right, ast.Compare)
+
+
+def test_parse_between_in_like_not():
+    sel = parse(
+        "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2) "
+        "AND c LIKE 'x%' AND NOT d = 4"
+    )
+    between, not_in, like, negated = sel.where.parts
+    assert isinstance(between, ast.BetweenExpr) and not between.negated
+    assert isinstance(not_in, ast.InExpr) and not_in.negated
+    assert not_in.values == (1, 2)
+    assert isinstance(like, ast.LikeExpr) and like.pattern == "x%"
+    assert isinstance(negated, ast.NotExpr)
+
+
+def test_parse_parenthesized_boolean_vs_value():
+    sel = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c < (3 + 4)")
+    grouped, compare = sel.where.parts
+    assert isinstance(grouped, ast.OrExpr)
+    assert isinstance(compare, ast.Compare)
+    assert isinstance(compare.right, ast.Arith)
+
+
+def test_parse_deeply_nested_boolean_parentheses():
+    sel = parse("SELECT * FROM t WHERE ((a = 5))")
+    assert isinstance(sel.where, ast.Compare)
+    sel = parse("SELECT * FROM t WHERE ((a IN (5, 6)) OR ((b = 2)))")
+    assert isinstance(sel.where, ast.OrExpr)
+
+
+def test_parse_date_literal_days_since_1992():
+    sel = parse("SELECT * FROM t WHERE d < DATE '1992-01-31'")
+    assert sel.where.right.value == 30
+
+
+def test_parse_arithmetic_precedence():
+    sel = parse("SELECT sum(a + b * c) AS s FROM t GROUP BY d")
+    call = sel.items[0].expr
+    assert isinstance(call, ast.FuncCall)
+    add = call.arg
+    assert isinstance(add, ast.Arith) and add.op == "+"
+    assert isinstance(add.right, ast.Arith) and add.right.op == "*"
+
+
+def test_parse_case_when():
+    sel = parse(
+        "SELECT sum(CASE WHEN a LIKE 'x%' THEN b ELSE 0 END) AS s FROM t"
+    )
+    case = sel.items[0].expr.arg
+    assert isinstance(case, ast.Case)
+    assert isinstance(case.condition, ast.LikeExpr)
+    assert isinstance(case.otherwise, ast.Literal)
+
+
+def test_parse_joins_and_kinds():
+    sel = parse(
+        "SELECT * FROM a JOIN b ON a.x = b.y LEFT OUTER JOIN c ON x2 = y2 "
+        "SEMI JOIN d ON x3 = y3 ANTI JOIN e ON x4 = y4"
+    )
+    kinds = [j.kind for j in sel.joins]
+    assert kinds == ["inner", "left", "semi", "anti"]
+    assert sel.joins[0].on_left.table == "a"
+    assert sel.joins[0].on_right.name == "y"
+
+
+def test_parse_group_order_limit():
+    sel = parse(
+        "SELECT a, count(*) AS n FROM t GROUP BY a "
+        "ORDER BY n DESC, a ASC LIMIT 10"
+    )
+    assert [c.name for c in sel.group_by] == ["a"]
+    assert [(k.column.name, k.ascending) for k in sel.order_by] == [
+        ("n", False), ("a", True),
+    ]
+    assert sel.limit == 10
+
+
+def test_parse_exists_subquery():
+    sel = parse(
+        "SELECT * FROM c WHERE NOT EXISTS "
+        "(SELECT * FROM o WHERE o_key = c_key) AND x > 1"
+    )
+    exists, compare = sel.where.parts
+    assert isinstance(exists, ast.ExistsExpr) and exists.negated
+    assert exists.subquery.table == "o"
+
+
+def test_parse_hints_attached_to_statement():
+    sel = parse("SELECT /*+ force_path(smooth), no_inlj */ * FROM t")
+    assert [(h.name, h.args) for h in sel.hints] == [
+        ("force_path", ("smooth",)), ("no_inlj", ()),
+    ]
+
+
+def test_parse_rejects_trailing_garbage():
+    with pytest.raises(SqlError, match="after end of statement"):
+        parse("SELECT * FROM t garbage extra")
+
+
+def test_parse_rejects_non_integer_limit():
+    with pytest.raises(SqlError, match="LIMIT takes an integer"):
+        parse("SELECT * FROM t LIMIT 2.5")
+
+
+def test_parse_negative_literals():
+    sel = parse("SELECT * FROM t WHERE a > -5 AND b IN (-1, 2)")
+    gt, in_list = sel.where.parts
+    assert gt.right.value == -5
+    assert in_list.values == (-1, 2)
