@@ -3,6 +3,11 @@
 The batch-vectorized execution protocol must beat the tuple-at-a-time
 pipeline by at least 2x in tuples/second over the fig5 selectivity sweep
 (same plans, same simulated costs; only Python overhead differs).
+
+Two artifacts: the committed ``batch_throughput.txt`` carries only the
+deterministic simulated costs (identical on every machine — it stops
+churning in commits); the wall-clock numbers this test asserts on go to
+the gitignored ``batch_throughput_wallclock.txt`` sidecar.
 """
 
 from conftest import run_once
@@ -16,6 +21,7 @@ def test_batch_throughput_over_row(benchmark, micro_bench_setup, report):
         lambda: run_batch_bench(setup=micro_bench_setup),
     )
     report("batch_throughput", result.report())
+    report("batch_throughput_wallclock", result.wallclock_report())
 
     # The acceptance bar: >= 2x tuples/sec overall for the batch path.
     assert result.overall_speedup >= 2.0

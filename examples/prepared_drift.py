@@ -1,0 +1,65 @@
+"""The cached-plan drift story: prepare once, drift the parameter.
+
+Run:  python examples/prepared_drift.py
+
+This is the paper's headline serving scenario end to end.  A statement
+is prepared once (lexed/parsed/bound a single time), its plan is cached
+at the first execution, and the plan is *replayed* as the bind parameter
+drifts — no re-optimization.  The classic cost-based plan (an index
+scan, perfect at 0.05% selectivity) collapses as the parameter widens;
+preparing the same statement under ``enable_smooth`` caches a Smooth
+Scan instead, and that one cached plan stays near-optimal everywhere
+("the optimizer can always choose a Smooth Scan", §IV-B).
+"""
+
+from repro import Database, PlannerOptions
+from repro.workloads import build_micro_table
+
+
+def main() -> None:
+    db = Database()
+    table = build_micro_table(db, num_tuples=120_000)
+    db.analyze()
+    print(f"loaded {table.row_count} rows over {table.num_pages} pages\n")
+
+    # Two sessions, same statement: classic cost-based vs. always-smooth.
+    classic = db.connect(options=PlannerOptions(enable_sort_scan=False))
+    smooth = db.connect(options=PlannerOptions(enable_sort_scan=False,
+                                               enable_smooth=True))
+    sql = "SELECT * FROM micro WHERE c2 >= :lo AND c2 < :hi"
+    st_classic = classic.prepare(sql)
+    st_smooth = smooth.prepare(sql)
+    print(f"prepared ({st_classic.param_count} named parameters): {sql}\n")
+
+    print(f"{'sel%':>6} {'rows':>8} {'cached classic':>15} "
+          f"{'cached smooth':>14}   (simulated time; plan frozen at the "
+          "first row)")
+    for pct in (0.05, 0.5, 2.0, 10.0, 50.0, 100.0):
+        params = {"lo": 0, "hi": round(pct * 1000)}  # domain is 0..100000
+        r_classic = st_classic.run(params, keep_rows=False)
+        r_smooth = st_smooth.run(params, keep_rows=False)
+        path = r_classic.decisions[0].path
+        print(f"{pct:6} {r_classic.row_count:8} "
+              f"{r_classic.total_seconds:13.3f}s [{path}]"
+              f"{r_smooth.total_seconds:12.3f}s "
+              f"[{r_smooth.decisions[0].path}]")
+
+    print(f"\n{db.plan_cache.describe()}")
+    print(f"statements compiled: {db.sql_compile_count} "
+          "(each prepared statement parsed/bound exactly once)")
+
+    # Cursors stream: fetch a page of rows without materializing the
+    # rest; the partial measurement shows how little work was charged.
+    cur = classic.cursor()
+    cur.execute("SELECT c1, c2 FROM micro WHERE c2 < ?", (90_000,))
+    first = cur.fetchmany(10)
+    partial = cur.result()
+    print(f"\nstreaming: fetched {len(first)} rows, produced "
+          f"{partial.row_count} so far "
+          f"(partial={partial.run.extras['partial']}), "
+          f"{partial.disk.requests} I/O requests charged")
+    cur.close()
+
+
+if __name__ == "__main__":
+    main()

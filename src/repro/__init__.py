@@ -27,7 +27,13 @@ Physical plans remain available for experiments that pin exact shapes::
     print(measure(db, scan))
 """
 
-from repro.api import Query, QueryResult
+from repro.api import (
+    Connection,
+    Cursor,
+    PreparedStatement,
+    Query,
+    QueryResult,
+)
 from repro.config import CpuCosts, EngineConfig
 from repro.context import ExecutionContext
 from repro.core import (
@@ -41,7 +47,7 @@ from repro.core import (
     SwitchScan,
 )
 from repro.database import Database
-from repro.errors import ReproError, SqlError
+from repro.errors import InterfaceError, ReproError, SqlError
 from repro.optimizer import (
     PlanDecision,
     PlannedQuery,
@@ -71,6 +77,8 @@ __all__ = [
     "ColumnType",
     "CompareOp",
     "Comparison",
+    "Connection",
+    "Cursor",
     "CpuCosts",
     "Database",
     "DiskProfile",
@@ -81,10 +89,12 @@ __all__ = [
     "FullTableScan",
     "GreedyPolicy",
     "IndexScan",
+    "InterfaceError",
     "KeyRange",
     "OptimizerDrivenTrigger",
     "PlanDecision",
     "PlannedQuery",
+    "PreparedStatement",
     "Planner",
     "PlannerOptions",
     "Query",

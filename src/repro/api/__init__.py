@@ -18,12 +18,16 @@ plan_query` choose every access path (including "always Smooth Scan",
 
 from repro.api.query import Query
 from repro.api.result import QueryResult
+from repro.api.session import Connection, Cursor, PreparedStatement
 from repro.optimizer.logical import JoinSpec, MapSpec, OrderItem, QuerySpec
 
 __all__ = [
+    "Connection",
+    "Cursor",
     "JoinSpec",
     "MapSpec",
     "OrderItem",
+    "PreparedStatement",
     "Query",
     "QueryResult",
     "QuerySpec",

@@ -1,0 +1,483 @@
+"""The PEP-249-flavored session layer: Connection, Cursor, PreparedStatement.
+
+This is the execution surface applications use to serve repeated traffic::
+
+    conn = db.connect()
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM micro WHERE c2 < ?", (20_000,))
+    print(cur.description)        # name/type per output column
+    for row in cur:               # streams operator batches, no full
+        ...                       # materialization
+
+    st = conn.prepare("SELECT * FROM micro WHERE c2 >= ? AND c2 < ?")
+    st.execute((0, 100)).fetchall()       # lex/parse/bind ONCE, plan once
+    st.execute((0, 90_000)).fetchall()    # new params: cached plan replayed
+
+The pieces behind the surface:
+
+* ``prepare()`` compiles the statement exactly once into a parameterized
+  :class:`~repro.sql.binder.BoundStatement`; per-execute work is
+  parameter substitution only.
+* Planning goes through the database's
+  :class:`~repro.optimizer.plan_cache.PlanCache`: the first execution's
+  decisions are frozen into a :class:`~repro.optimizer.planner.PlanRecipe`
+  and replayed on later executions — which is precisely how a cached
+  plan drifts out of optimality as its parameters move, the scenario
+  Smooth Scan (``PlannerOptions(enable_smooth=True)``) makes safe.
+* Cursors stream: ``fetchone``/``fetchmany`` pull operator batches
+  incrementally through :class:`~repro.exec.stats.StreamingRun`;
+  ``arraysize`` sets how many rows a default ``fetchmany()`` returns.
+  :meth:`Cursor.result` reports the simulated cost so far, including
+  partially-fetched runs.
+
+PEP-249 deviations, deliberate: this is a single-threaded simulation
+with no transactions, so ``commit``/``rollback`` are accepted no-ops;
+``execute`` returns the cursor (chaining); ``EXPLAIN SELECT ...``
+produces a one-column result set of plan-tree lines (plus a plan-cache
+status line), like real engines do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.api.result import QueryResult
+from repro.errors import InterfaceError
+from repro.exec.stats import StreamingRun, measure
+from repro.optimizer.plan_cache import options_fingerprint
+from repro.optimizer.planner import PlannedQuery, Planner, PlannerOptions
+from repro.storage.types import Row
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.database import Database
+    from repro.sql.binder import BoundStatement
+
+#: PEP-249 module attributes (informational).
+apilevel = "2.0"
+threadsafety = 1          # threads may share the module, not connections
+paramstyle = "qmark"      # ':name' style is additionally supported
+
+#: Default Cursor.arraysize: rows per parameterless ``fetchmany()``.
+DEFAULT_ARRAYSIZE = 256
+
+
+def _check_same_database(statement: "PreparedStatement",
+                         connection: "Connection") -> None:
+    """A statement bound against one catalog must not run on another.
+
+    Its spec and compiled callables carry the *preparing* database's
+    name resolution and column positions; executing them elsewhere
+    would at best plan nonsense and at worst return silently wrong
+    rows.  (Sharing across *connections* of the same database is fine —
+    the bound artifacts only depend on the catalog.)
+    """
+    if statement.connection.db is not connection.db:
+        raise InterfaceError(
+            "prepared statement belongs to a different database"
+        )
+
+
+class Connection:
+    """One session against a database: cursors, prepared statements.
+
+    ``options`` are the session's default planner options (hint comments
+    still layer on top, per statement).  ``cold=True`` keeps the paper's
+    measurement discipline — every execution starts with dropped caches —
+    so per-query measurements stay comparable to ``Database.execute``.
+    """
+
+    def __init__(self, db: "Database",
+                 options: PlannerOptions | None = None,
+                 cold: bool = True):
+        self.db = db
+        self.options = options
+        self.cold = cold
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the session (idempotent); handles refuse further use."""
+        self._closed = True
+
+    def commit(self) -> None:
+        """No-op: the engine is read-only (PEP-249 compatibility)."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """No-op: the engine is read-only (PEP-249 compatibility)."""
+        self._check_open()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statement entry points ----------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        """A new cursor over this connection."""
+        self._check_open()
+        return Cursor(self)
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Compile ``sql`` once; execute it many times with parameters."""
+        self._check_open()
+        return PreparedStatement(self, sql)
+
+    def execute(self, sql: "str | PreparedStatement",
+                params: object = None) -> "Cursor":
+        """Shorthand: ``cursor().execute(sql, params)``."""
+        return self.cursor().execute(sql, params)
+
+    def run(self, sql: "str | PreparedStatement", params: object = None,
+            *, cold: bool | None = None, keep_rows: bool = True,
+            options: PlannerOptions | None = None) -> "QueryResult | str":
+        """Execute to completion and measure — the non-streaming call.
+
+        The one-shot twin of a cursor: plan (through the plan cache),
+        drain, and return a :class:`~repro.api.result.QueryResult`; an
+        ``EXPLAIN`` statement returns the rendered plan string.  This is
+        what the deprecated ``Database.sql()`` facade delegates to.
+        """
+        self._check_open()
+        if isinstance(sql, PreparedStatement):
+            statement = sql
+            _check_same_database(statement, self)
+        else:
+            statement = PreparedStatement(self, sql)
+        bound = statement._bound
+        opts = bound.planner_options(
+            options if options is not None else self.options
+        )
+        planned, _outcome = self._plan(bound, opts, params)
+        if bound.explain:
+            return planned.render()
+        planned.reset_counters()
+        run = measure(self.db, planned.root,
+                      cold=self.cold if cold is None else cold,
+                      keep_rows=keep_rows)
+        return QueryResult(planned, run)
+
+    # -- internals -----------------------------------------------------------
+
+    def _compile(self, sql: str) -> "BoundStatement":
+        """Lex/parse/bind one statement (counted on the database)."""
+        from repro.sql import compile_statement
+        return compile_statement(self.db, sql)
+
+    def _plan(self, bound: "BoundStatement",
+              options: PlannerOptions | None,
+              params: object) -> tuple[PlannedQuery, str]:
+        """Plan through the cache; returns ``(plan, "hit" | "miss")``.
+
+        Parameter substitution happens first (cheap, structural); the
+        cache is keyed on normalized text + options fingerprint, and
+        entries die when the catalog version moves — so a hit replays
+        the recorded recipe around the *new* parameter values without
+        re-running access-path or join-method selection.
+        """
+        spec = bound.bind_params(params)
+        cache = self.db.plan_cache
+        version = self.db.catalog_version
+        key = (bound.normalized, options_fingerprint(options))
+        recipe = cache.lookup(key, version)
+        planner = Planner(self.db, self.db.catalog, options)
+        if recipe is not None:
+            return planner.plan_query(spec, recipe=recipe), "hit"
+        planned = planner.plan_query(spec)
+        cache.store(key, planned.recipe, version)
+        return planned, "miss"
+
+
+class PreparedStatement:
+    """One statement, compiled once, executable many times.
+
+    Compilation (lex → parse → bind) happens in the constructor; every
+    :meth:`execute` only substitutes parameters and consults the plan
+    cache.  Interleaving *streaming* executions of the same prepared
+    statement with different parameters shares the compiled statement's
+    parameter slots — drain or close the earlier cursor before
+    re-executing with new values.
+    """
+
+    def __init__(self, connection: Connection, sql: str):
+        self.connection = connection
+        self.sql = sql
+        self._bound = connection._compile(sql)
+
+    @property
+    def param_count(self) -> int:
+        """Number of bind parameters the statement declares."""
+        return self._bound.param_count
+
+    @property
+    def param_names(self) -> tuple[str | None, ...]:
+        """Per-slot parameter names (``None`` entries for ``?`` style)."""
+        return self._bound.param_names
+
+    @property
+    def is_explain(self) -> bool:
+        """True for ``EXPLAIN SELECT ...`` statements."""
+        return self._bound.explain
+
+    def execute(self, params: object = None) -> "Cursor":
+        """Run on a fresh cursor; returns it ready for ``fetch*``."""
+        return self.connection.cursor().execute(self, params)
+
+    def run(self, params: object = None, *, cold: bool | None = None,
+            keep_rows: bool = True,
+            options: PlannerOptions | None = None) -> "QueryResult | str":
+        """Execute to completion and measure (see :meth:`Connection.run`)."""
+        return self.connection.run(self, params, cold=cold,
+                                   keep_rows=keep_rows, options=options)
+
+    def explain(self, params: object = None) -> str:
+        """The plan tree this statement gets for ``params``, unexecuted."""
+        bound = self._bound
+        opts = bound.planner_options(self.connection.options)
+        planned, _ = self.connection._plan(bound, opts, params)
+        return planned.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PreparedStatement({self.sql!r}, "
+                f"params={self.param_count})")
+
+
+class Cursor:
+    """A streaming result handle (PEP-249 shaped).
+
+    ``execute`` plans the statement and *starts* it; rows flow on
+    ``fetchone``/``fetchmany``/``fetchall`` (or iteration), pulled from
+    the engine's batch protocol as needed.  ``description`` is available
+    right after ``execute``; ``rowcount`` stays ``-1`` until the result
+    is fully drained (streaming cursors cannot know it earlier).
+    """
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.arraysize = DEFAULT_ARRAYSIZE
+        self.description: list[tuple] | None = None
+        self.rowcount = -1
+        self._closed = False
+        self._run: StreamingRun | None = None
+        self._planned: PlannedQuery | None = None
+        self._buffer: deque[Row] = deque()
+        self._static: deque[Row] | None = None  # EXPLAIN result rows
+        self._last_cache_outcome: str | None = None
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, operation: "str | PreparedStatement",
+                params: object = None) -> "Cursor":
+        """Plan and start one statement; returns ``self`` for chaining.
+
+        ``operation`` is SQL text (compiled now) or a
+        :class:`PreparedStatement` (compiled at prepare time).
+        """
+        self._check_open()
+        self.connection._check_open()
+        if isinstance(operation, PreparedStatement):
+            statement = operation
+            _check_same_database(statement, self.connection)
+        else:
+            statement = PreparedStatement(self.connection, operation)
+        self._reset_result()
+        bound = statement._bound
+        opts = bound.planner_options(self.connection.options)
+        planned, outcome = self.connection._plan(bound, opts, params)
+        self._planned = planned
+        self._last_cache_outcome = outcome
+        if bound.explain:
+            self._install_explain(planned, outcome)
+            return self
+        planned.reset_counters()
+        self._run = StreamingRun(self.connection.db, planned.root,
+                                 cold=self.connection.cold)
+        self.description = [
+            (c.name, c.ctype, None, c.byte_size, None, None, None)
+            for c in planned.root.schema.columns
+        ]
+        return self
+
+    def executemany(self, operation: "str | PreparedStatement",
+                    seq_of_params: Sequence[object]) -> "Cursor":
+        """Execute once per parameter set, draining each run.
+
+        The statement is compiled once (pass text or a prepared
+        statement — both work); ``rowcount`` accumulates the rows every
+        execution produced.  Fetching afterwards is not supported, per
+        PEP-249's "result sets are undefined after executemany".
+        """
+        self._check_open()
+        statement = operation if isinstance(operation, PreparedStatement) \
+            else PreparedStatement(self.connection, operation)
+        total = 0
+        for params in seq_of_params:
+            self.execute(statement, params)
+            while self._next_into_buffer():
+                pass
+            total += self._run.rows_produced if self._run else 0
+            self._buffer.clear()
+        self._reset_result(rowcount=total)
+        return self
+
+    # -- fetching ------------------------------------------------------------
+
+    def fetchone(self) -> Row | None:
+        """The next row, or ``None`` when the result is exhausted."""
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, size: int | None = None) -> list[Row]:
+        """Up to ``size`` rows (default ``arraysize``), streamed.
+
+        Batches are pulled from the operator tree only as needed — a
+        ``LIMIT``-less scan fetched 10 rows at a time never materializes
+        the full result set in the cursor.
+        """
+        self._check_fetchable()
+        if size is None:
+            size = self.arraysize
+        if size <= 0:
+            raise InterfaceError(
+                f"fetchmany size must be positive, got {size}"
+            )
+        while len(self._buffer) < size and self._next_into_buffer():
+            pass
+        out = [self._buffer.popleft()
+               for _ in range(min(size, len(self._buffer)))]
+        self._maybe_finish()
+        return out
+
+    def fetchall(self) -> list[Row]:
+        """Every remaining row (drains the plan to completion)."""
+        self._check_fetchable()
+        while self._next_into_buffer():
+            pass
+        out = list(self._buffer)
+        self._buffer.clear()
+        self._maybe_finish()
+        return out
+
+    def __iter__(self) -> Iterator[Row]:
+        """Stream rows; equivalent to repeated ``fetchmany()``."""
+        while True:
+            rows = self.fetchmany()
+            if not rows:
+                return
+            yield from rows
+
+    def __next__(self) -> Row:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- measurement and plan introspection ----------------------------------
+
+    def result(self) -> QueryResult | None:
+        """Measurements + decision trail for the current execution.
+
+        Valid any time after ``execute``: before the result is drained
+        it reports the simulated cost of the rows produced *so far*
+        (``result().run.extras["partial"]`` is then True).  ``None`` for
+        EXPLAIN executions, which run nothing.
+        """
+        if self._planned is None:
+            raise InterfaceError("no statement has been executed")
+        if self._run is None:
+            return None
+        return QueryResult(self._planned, self._run.result())
+
+    @property
+    def plan(self) -> PlannedQuery | None:
+        """The physical plan of the last execution (EXPLAIN included)."""
+        return self._planned
+
+    @property
+    def cache_status(self) -> str | None:
+        """``"hit"``/``"miss"`` — how the plan cache answered last time."""
+        return self._last_cache_outcome
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Abandon any in-flight run and refuse further use."""
+        if self._run is not None:
+            self._run.close()
+        self._buffer.clear()
+        self._static = None
+        self._closed = True
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _reset_result(self, rowcount: int = -1) -> None:
+        if self._run is not None:
+            self._run.close()
+        self._run = None
+        self._planned = None
+        self._buffer.clear()
+        self._static = None
+        self.description = None
+        self.rowcount = rowcount
+
+    def _install_explain(self, planned: PlannedQuery, outcome: str) -> None:
+        """EXPLAIN result set: one plan-tree line per row, plus the
+        plan-cache status line (the stats ``explain()`` surfaces)."""
+        from repro.storage.types import ColumnType
+        stats = self.connection.db.plan_cache.stats
+        lines = planned.render().splitlines()
+        lines.append(f"plan cache: {outcome} ({stats.describe()})")
+        self._static = deque((line,) for line in lines)
+        self.description = [
+            ("plan", ColumnType.CHAR, None, None, None, None, None)
+        ]
+        self.rowcount = len(lines)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+
+    def _check_fetchable(self) -> None:
+        self._check_open()
+        if self._planned is None:
+            raise InterfaceError(
+                "no statement has been executed on this cursor"
+            )
+
+    def _next_into_buffer(self) -> bool:
+        """Pull one operator batch into the buffer; False when done."""
+        if self._static is not None:
+            if self._static:
+                self._buffer.extend(self._static)
+                self._static = deque()
+                return True
+            return False
+        if self._run is None:
+            return False
+        batch = self._run.next_batch()
+        if batch is None:
+            return False
+        self._buffer.extend(batch)
+        return True
+
+    def _maybe_finish(self) -> None:
+        """Publish rowcount once the stream is exhausted and drained.
+
+        (EXPLAIN rowcount is known — and set — at execute time.)"""
+        if self._run is not None and self._run.exhausted \
+                and not self._buffer:
+            self.rowcount = self._run.rows_produced

@@ -18,6 +18,7 @@ Queries come in two flavors:
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Iterable
 
 from repro.config import DEFAULT_CONFIG, EngineConfig
@@ -33,7 +34,9 @@ from repro.storage.types import Row, Schema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.query import Query
     from repro.api.result import QueryResult
+    from repro.api.session import Connection
     from repro.optimizer.logical import QuerySpec
+    from repro.optimizer.plan_cache import PlanCache
     from repro.optimizer.planner import PlannedQuery, PlannerOptions
     from repro.optimizer.statistics import StatisticsCatalog
 
@@ -64,6 +67,12 @@ class Database:
         self.tables: dict[str, Table] = {}
         self._next_file_id = 0
         self._catalog: "StatisticsCatalog | None" = None
+        self._catalog_version = 0
+        self._plan_cache: "PlanCache | None" = None
+        self._session: "Connection | None" = None
+        #: Statements compiled (lexed+parsed+bound) against this
+        #: database — the counter prepared-statement tests assert on.
+        self.sql_compile_count = 0
 
     # -- schema operations --------------------------------------------------
 
@@ -90,6 +99,7 @@ class Database:
         """Create an empty table; raises StorageError on duplicates."""
         table = self._register_table(name, schema)
         self._autosize_buffer()
+        self._bump_catalog_version()
         return table
 
     def load_table(self, name: str, schema: Schema,
@@ -102,6 +112,7 @@ class Database:
         table = self._register_table(name, schema)
         table.insert_many(rows)
         self._autosize_buffer()
+        self._bump_catalog_version()
         return table
 
     def table(self, name: str) -> Table:
@@ -145,6 +156,7 @@ class Database:
             (row[col_pos], tid) for tid, row in table.heap.iter_rows()
         )
         table.indexes[column] = index
+        self._bump_catalog_version()
         return index
 
     def drop_index(self, table_name: str, column: str) -> None:
@@ -158,6 +170,52 @@ class Database:
             raise StorageError(
                 f"table {table_name!r} has no index on {column!r}"
             )
+        self._bump_catalog_version()
+
+    # -- catalog versioning and the plan cache --------------------------
+
+    @property
+    def catalog_version(self) -> int:
+        """A counter that moves whenever cached plans may be stale.
+
+        Bumped by ``create_table`` / ``load_table`` / ``create_index`` /
+        ``drop_index`` (what plans are *buildable* changed) and by
+        ``analyze`` / ``use_catalog`` (what the optimizer would *choose*
+        changed).  The plan cache invalidates entries planned under an
+        older version, so a cache hit is always a plan the current
+        catalog would still admit.
+        """
+        return self._catalog_version
+
+    def _bump_catalog_version(self) -> None:
+        self._catalog_version += 1
+
+    @property
+    def plan_cache(self) -> "PlanCache":
+        """This database's plan cache (one, shared by every connection)."""
+        if self._plan_cache is None:
+            from repro.optimizer.plan_cache import PlanCache
+            self._plan_cache = PlanCache()
+        return self._plan_cache
+
+    # -- sessions -------------------------------------------------------
+
+    def connect(self, options: "PlannerOptions | None" = None,
+                cold: bool = True) -> "Connection":
+        """Open a PEP-249-flavored session on this database.
+
+        The session layer is the serving surface: ``conn.cursor()``
+        streams results; ``conn.prepare(sql)`` compiles once and
+        re-executes with bind parameters through the plan cache.
+        """
+        from repro.api.session import Connection
+        return Connection(self, options=options, cold=cold)
+
+    def _default_session(self) -> "Connection":
+        """The lazily-created session backing the deprecated facades."""
+        if self._session is None:
+            self._session = self.connect()
+        return self._session
 
     # -- statistics -----------------------------------------------------
 
@@ -182,6 +240,7 @@ class Database:
         callers having to thread the catalog through each call.
         """
         self._catalog = catalog
+        self._bump_catalog_version()
 
     def analyze(self, table_name: str | None = None,
                 **kwargs) -> "StatisticsCatalog":
@@ -195,6 +254,7 @@ class Database:
                   else list(self.tables.values()))
         for table in tables:
             self.catalog.analyze(table, **kwargs)
+        self._bump_catalog_version()
         return self.catalog
 
     # -- declarative execution ------------------------------------------
@@ -242,33 +302,52 @@ class Database:
             options: "PlannerOptions | None" = None,
             catalog: "StatisticsCatalog | None" = None
             ) -> "QueryResult | str":
-        """Execute one SQL statement (the textual twin of :meth:`execute`).
+        """Execute one SQL statement.  Deprecated; use :meth:`connect`.
 
-        The statement is lexed, parsed and bound onto a
-        :class:`~repro.optimizer.logical.QuerySpec`, then planned and
-        measured exactly like a fluent query.  Hint comments
-        (``/*+ force_path(smooth) */``, ``/*+ no_inlj */``) layer onto
-        ``options``; an ``EXPLAIN SELECT ...`` statement returns the
-        rendered plan tree (a string) without executing.
+        The historical one-call facade, kept working for existing
+        callers: hint comments layer onto ``options`` and an ``EXPLAIN
+        SELECT ...`` returns the rendered plan tree as a *string* (the
+        ``QueryResult | str`` union the session layer was built to
+        fix — ``Connection.execute`` gives EXPLAIN a result set
+        instead).  Internally this now delegates to a connection, so
+        repeated statements benefit from the plan cache; with an
+        explicit ``catalog`` override it plans directly, uncached (the
+        cache is keyed for the database's own catalog only).
         """
-        from repro.sql import compile_statement
-        bound = compile_statement(self, text)
-        opts = bound.planner_options(options)
-        if bound.explain:
-            return self.plan(bound.spec, options=opts,
-                             catalog=catalog).render()
-        return self.execute(bound.spec, cold=cold, keep_rows=keep_rows,
-                            options=opts, catalog=catalog)
+        warnings.warn(
+            "Database.sql() is deprecated; use db.connect() and "
+            "Connection/Cursor (or Connection.run) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        if catalog is not None:
+            from repro.sql import compile_statement
+            bound = compile_statement(self, text)
+            opts = bound.planner_options(options)
+            if bound.explain:
+                return self.plan(bound.spec, options=opts,
+                                 catalog=catalog).render()
+            return self.execute(bound.spec, cold=cold, keep_rows=keep_rows,
+                                options=opts, catalog=catalog)
+        return self._default_session().run(
+            text, cold=cold, keep_rows=keep_rows, options=options
+        )
 
     def explain(self, text: str,
                 options: "PlannerOptions | None" = None,
                 catalog: "StatisticsCatalog | None" = None) -> str:
         """The plan tree for a SQL statement, without executing it.
 
-        Accepts plain ``SELECT ...`` as well as ``EXPLAIN SELECT ...``;
-        estimates are filled in, actual rows render as ``?`` until the
-        query runs.
+        Deprecated alongside :meth:`sql` (use
+        ``Connection.execute("EXPLAIN ...")`` or
+        ``PreparedStatement.explain``); accepts plain ``SELECT ...`` as
+        well as ``EXPLAIN SELECT ...``, and still returns the bare
+        rendered tree with no plan-cache line, exactly as it always did.
         """
+        warnings.warn(
+            "Database.explain() is deprecated; use db.connect() and "
+            "cursor EXPLAIN or PreparedStatement.explain() instead",
+            DeprecationWarning, stacklevel=2,
+        )
         from repro.sql import compile_statement
         bound = compile_statement(self, text)
         return self.plan(bound.spec, options=bound.planner_options(options),

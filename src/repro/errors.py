@@ -50,6 +50,17 @@ class SqlError(PlanningError):
     """
 
 
+class InterfaceError(ReproError):
+    """The session API (Connection/Cursor) was misused.
+
+    Raised for driver-level mistakes — fetching before ``execute()``,
+    using a closed cursor or connection, executing a statement prepared
+    against a *different database* (sharing across connections of one
+    database is allowed) — as distinct from errors *in* the statement
+    (:class:`SqlError`) or its planning (:class:`PlanningError`).
+    """
+
+
 class StatisticsError(ReproError):
     """Statistics were requested for an unknown table or column."""
 

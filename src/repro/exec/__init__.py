@@ -41,7 +41,7 @@ from repro.exec.misc import (
 )
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
 from repro.exec.sort import Sort
-from repro.exec.stats import RunResult, measure
+from repro.exec.stats import RunResult, StreamingRun, measure
 
 __all__ = [
     "AggSpec",
@@ -73,6 +73,7 @@ __all__ = [
     "Rename",
     "RowCounter",
     "RunResult",
+    "StreamingRun",
     "range_selector",
     "Sort",
     "SortScan",

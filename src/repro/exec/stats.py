@@ -76,32 +76,89 @@ def measure(db: Database, plan: Operator, cold: bool = True,
     LRU reward with better locality (as real hardware would) — measured
     baselines therefore reflect batch-execution I/O patterns.
     """
-    ctx = db.cold_run() if cold else db.context()
-    io0, cpu0 = db.clock.snapshot()
-    disk0 = db.disk.stats.snapshot()
-    hits0, misses0 = db.buffer.stats.hits, db.buffer.stats.misses
-
-    if keep_rows:
-        rows = []
-        for batch in plan.batches(ctx):
+    # One bookkeeping implementation: a StreamingRun drained in place.
+    # Snapshot/diff logic lives only there, so one-shot and streaming
+    # executions can never diverge in what they measure.
+    run = StreamingRun(db, plan, cold=cold)
+    rows: list[Row] = []
+    batch = run.next_batch()
+    while batch is not None:
+        if keep_rows:
             rows += batch
-    else:
-        count = 0
-        for batch in plan.batches(ctx):
-            count += len(batch)
-        rows = []
-    io1, cpu1 = db.clock.snapshot()
-    result = RunResult(
-        rows=rows,
-        io_ms=io1 - io0,
-        cpu_ms=cpu1 - cpu0,
-        disk=db.disk.stats.diff(disk0),
-        buffer_hits=db.buffer.stats.hits - hits0,
-        buffer_misses=db.buffer.stats.misses - misses0,
-    )
-    if not keep_rows:
-        result.extras["row_count"] = count
-    return result
+        batch = run.next_batch()
+    return run.result(rows if keep_rows else None)
+
+
+class StreamingRun:
+    """Incremental execution of one plan: pull batches, measure any time.
+
+    The engine of :class:`~repro.api.session.Cursor` streaming: where
+    :func:`measure` drains a plan to completion in one call,
+    ``StreamingRun`` hands out operator batches one at a time
+    (``fetchmany`` pulls only what it needs — no full materialization)
+    and can report the simulated cost of the run *so far* at any point.
+    Per-batch charges are identical to :func:`measure`'s — both drive
+    the same ``batches()`` protocol — so a fully-drained streaming run
+    is measurement-identical to a one-shot one.
+
+    Snapshots are taken against the database's shared clock/disk/buffer,
+    so running *another* query on the same database before this one is
+    drained folds that query's charges into this measurement (and a
+    ``cold=True`` start resets the caches mid-stream).  Drain or close a
+    streaming run before starting the next cold run.
+    """
+
+    def __init__(self, db: Database, plan: Operator, cold: bool = True):
+        self.db = db
+        self.plan = plan
+        ctx = db.cold_run() if cold else db.context()
+        self._io0, self._cpu0 = db.clock.snapshot()
+        self._disk0 = db.disk.stats.snapshot()
+        self._hits0 = db.buffer.stats.hits
+        self._misses0 = db.buffer.stats.misses
+        self._batches = plan.batches(ctx)
+        self.rows_produced = 0
+        self.exhausted = False
+        self.closed = False
+
+    def next_batch(self) -> list[Row] | None:
+        """The next non-empty batch, or ``None`` once the plan is done."""
+        if self.closed or self.exhausted:
+            return None
+        batch = next(self._batches, None)
+        if batch is None:
+            self.exhausted = True
+            return None
+        self.rows_produced += len(batch)
+        return batch
+
+    def result(self, rows: list[Row] | None = None) -> RunResult:
+        """The measurement up to now (partial unless ``exhausted``).
+
+        ``rows`` lets a caller that kept the fetched rows attach them;
+        ``row_count`` always reports rows *produced*, kept or not, and
+        ``extras["partial"]`` records whether the plan was cut short.
+        """
+        io1, cpu1 = self.db.clock.snapshot()
+        run = RunResult(
+            rows=rows if rows is not None else [],
+            io_ms=io1 - self._io0,
+            cpu_ms=cpu1 - self._cpu0,
+            disk=self.db.disk.stats.diff(self._disk0),
+            buffer_hits=self.db.buffer.stats.hits - self._hits0,
+            buffer_misses=self.db.buffer.stats.misses - self._misses0,
+        )
+        run.extras["row_count"] = self.rows_produced
+        run.extras["partial"] = not self.exhausted
+        return run
+
+    def close(self) -> None:
+        """Abandon the run; further ``next_batch`` calls return None."""
+        if not self.closed:
+            close = getattr(self._batches, "close", None)
+            if close is not None:
+                close()
+            self.closed = True
 
 
 def count_rows(rows: Iterable[Row]) -> int:

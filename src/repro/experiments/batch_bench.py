@@ -10,13 +10,23 @@ what this experiment records is the Python-side overhead the paper's
 Section IV attributes to per-tuple bookkeeping, which batching amortizes
 over whole pages and morphing-region runs.
 
-Reported per plan: produced tuples, row/batch wall seconds, throughput in
-ktuples/s for both paths and the speedup ratio; plus an overall row whose
-speedup is computed from total tuples over total time.
+Two reports come out of one sweep:
+
+* :meth:`BatchBenchResult.report` — the *deterministic* half: per-plan
+  simulated io/cpu seconds (identical on both protocols by the batch
+  contract, asserted here).  This is the committed
+  ``bench_results/batch_throughput.txt`` artifact — it only changes when
+  the engine's simulated behavior changes, never from runner noise.
+* :meth:`BatchBenchResult.wallclock_report` — the wall-clock half:
+  row/batch seconds, ktuples/s and speedups.  Inherently noisy, so it is
+  teed to an *uncommitted* sidecar
+  (``bench_results/batch_throughput_wallclock.txt``, gitignored) and
+  asserted only with generous slack.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -39,12 +49,16 @@ DEFAULT_PATHS = ("full", "sort", "smooth")
 
 @dataclass
 class BatchBenchResult:
-    """Wall-clock throughput of row vs. batch execution per plan."""
+    """Row vs. batch execution per plan: simulated cost + wall clock."""
 
     labels: list[str] = field(default_factory=list)
     tuples: list[int] = field(default_factory=list)
     row_seconds: list[float] = field(default_factory=list)
     batch_seconds: list[float] = field(default_factory=list)
+    #: Simulated (deterministic) io/cpu milliseconds per plan, measured
+    #: on the batch drain and verified equal on the row drain.
+    sim_io_ms: list[float] = field(default_factory=list)
+    sim_cpu_ms: list[float] = field(default_factory=list)
 
     @property
     def total_tuples(self) -> int:
@@ -60,6 +74,29 @@ class BatchBenchResult:
         return row_total / batch_total
 
     def report(self) -> str:
+        """The deterministic table: simulated cost per plan."""
+        headers = ["plan", "tuples", "sim_io_s", "sim_cpu_s", "sim_total_s"]
+        table = []
+        for i, label in enumerate(self.labels):
+            io_s = self.sim_io_ms[i] / 1000.0
+            cpu_s = self.sim_cpu_ms[i] / 1000.0
+            table.append([label, self.tuples[i], io_s, cpu_s, io_s + cpu_s])
+        io_total = sum(self.sim_io_ms) / 1000.0
+        cpu_total = sum(self.sim_cpu_ms) / 1000.0
+        table.append(["OVERALL", self.total_tuples, io_total, cpu_total,
+                      io_total + cpu_total])
+        return format_table(
+            headers, table,
+            title=("Batch execution engine — simulated cost, fig5 "
+                   "selectivity sweep\n"
+                   "(identical on row and batch protocols by the batch "
+                   "contract; wall-clock\n"
+                   "throughput lives in the uncommitted "
+                   "batch_throughput_wallclock.txt sidecar)"),
+        )
+
+    def wallclock_report(self) -> str:
+        """The noisy table: wall-clock throughput of both protocols."""
         headers = ["plan", "tuples", "row_s", "batch_s",
                    "row_ktps", "batch_ktps", "speedup"]
         table = []
@@ -87,24 +124,30 @@ class BatchBenchResult:
         )
 
 
-def _drain_rows(db, plan) -> tuple[int, float]:
-    """Cold-run ``plan`` tuple-at-a-time; return (tuples, wall seconds)."""
+def _drain_rows(db, plan) -> tuple[int, float, float, float]:
+    """Cold-run tuple-at-a-time: (tuples, wall_s, sim_io_ms, sim_cpu_ms)."""
     ctx = db.cold_run()
+    io0, cpu0 = db.clock.snapshot()
     start = time.perf_counter()
     count = 0
     for _row in plan.rows(ctx):
         count += 1
-    return count, time.perf_counter() - start
+    wall = time.perf_counter() - start
+    io1, cpu1 = db.clock.snapshot()
+    return count, wall, io1 - io0, cpu1 - cpu0
 
 
-def _drain_batches(db, plan) -> tuple[int, float]:
-    """Cold-run ``plan`` batch-at-a-time; return (tuples, wall seconds)."""
+def _drain_batches(db, plan) -> tuple[int, float, float, float]:
+    """Cold-run batch-at-a-time: (tuples, wall_s, sim_io_ms, sim_cpu_ms)."""
     ctx = db.cold_run()
+    io0, cpu0 = db.clock.snapshot()
     start = time.perf_counter()
     count = 0
     for batch in plan.batches(ctx):
         count += len(batch)
-    return count, time.perf_counter() - start
+    wall = time.perf_counter() - start
+    io1, cpu1 = db.clock.snapshot()
+    return count, wall, io1 - io0, cpu1 - cpu0
 
 
 def run_batch_bench(num_tuples: int = DEFAULT_MICRO_TUPLES,
@@ -124,20 +167,35 @@ def run_batch_bench(num_tuples: int = DEFAULT_MICRO_TUPLES,
         for path in paths:
             row_best = batch_best = float("inf")
             rows_n = batch_n = 0
+            row_io = row_cpu = batch_io = batch_cpu = 0.0
             for _ in range(max(1, repeats)):
                 plan = access_path_plan(path, setup.table, sel)
-                rows_n, secs = _drain_rows(setup.db, plan)
+                rows_n, secs, row_io, row_cpu = _drain_rows(setup.db, plan)
                 row_best = min(row_best, secs)
                 plan = access_path_plan(path, setup.table, sel)
-                batch_n, secs = _drain_batches(setup.db, plan)
+                batch_n, secs, batch_io, batch_cpu = _drain_batches(
+                    setup.db, plan
+                )
                 batch_best = min(batch_best, secs)
             if rows_n != batch_n:
                 raise AssertionError(
                     f"row/batch row-count mismatch for {path}@{sel_pct}%: "
                     f"{rows_n} vs {batch_n}"
                 )
+            # The batch contract: identical simulated charges per plan.
+            if not (math.isclose(row_io, batch_io, rel_tol=1e-9,
+                                 abs_tol=1e-6)
+                    and math.isclose(row_cpu, batch_cpu, rel_tol=1e-9,
+                                     abs_tol=1e-6)):
+                raise AssertionError(
+                    f"row/batch simulated-cost mismatch for "
+                    f"{path}@{sel_pct}%: io {row_io} vs {batch_io}, "
+                    f"cpu {row_cpu} vs {batch_cpu}"
+                )
             result.labels.append(f"{path}@{sel_pct:g}%")
             result.tuples.append(rows_n)
             result.row_seconds.append(row_best)
             result.batch_seconds.append(batch_best)
+            result.sim_io_ms.append(batch_io)
+            result.sim_cpu_ms.append(batch_cpu)
     return result

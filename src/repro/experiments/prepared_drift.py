@@ -1,0 +1,174 @@
+"""Prepared-statement parameter drift — the paper's serving scenario.
+
+The introduction's motivating regime: a statement is prepared once, its
+plan is cached, and the plan is replayed for every later execution —
+while the *bind parameters* drift away from the values the optimizer saw
+at first execution.  A classic cost-based plan (index scan picked at
+0.05% selectivity) degrades catastrophically as the parameter widens; a
+Smooth Scan plan is statistics-oblivious, so the *same cached plan*
+stays near-optimal across the whole sweep (§IV-B: "the optimizer can
+always choose a Smooth Scan").
+
+One prepared statement drives everything::
+
+    SELECT * FROM micro WHERE c2 >= :lo AND c2 < :hi
+
+Three series per drift point, all simulated (deterministic) times:
+
+* ``cached`` — the classic config's plan, cached at the first (lowest
+  selectivity) execution and replayed via the plan cache;
+* ``smooth`` — the same drill with ``enable_smooth``: the cached plan is
+  a Smooth Scan;
+* ``replan`` — a fresh cost-based plan per point (what an engine that
+  re-optimizes every execution would run): the robustness yardstick.
+
+The sweep also exercises the machinery it measures: it asserts each
+statement compiled exactly once (``Database.sql_compile_count``) and
+that every re-execution was a plan-cache hit — the CI guardrail that
+prepared re-execution really skips parse/bind/plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.exec.expressions import Between
+from repro.experiments.common import MicroSetup, make_micro_db
+from repro.optimizer.planner import PlannerOptions
+from repro.workloads.micro import VALUE_DOMAIN
+
+#: Default sweep size: 120K tuples = 1,000 heap pages.
+DEFAULT_DRIFT_TUPLES = 120_000
+
+#: Drift grid in percent: the first point is where the plan gets cached
+#: (squarely index-friendly); the rest drift toward full-scan land.
+DEFAULT_DRIFT_PCT = (0.05, 0.5, 2.0, 10.0, 50.0, 100.0)
+
+#: The "classic" serving configuration: cost-based index-vs-full choice
+#: (no Sort Scan — the paper's Figure-1 DBMS X shape, where the
+#: tipping-point mistake is an index scan run far past its break-even).
+CLASSIC_OPTIONS = PlannerOptions(enable_sort_scan=False)
+
+#: The smooth serving configuration (§IV-B).
+SMOOTH_OPTIONS = PlannerOptions(enable_sort_scan=False, enable_smooth=True)
+
+#: The statement every series prepares.
+DRIFT_SQL = "SELECT * FROM micro WHERE c2 >= :lo AND c2 < :hi"
+
+
+@dataclass
+class PreparedDriftResult:
+    """One drift sweep: per-point simulated times and cache accounting."""
+
+    selectivities_pct: list[float] = field(default_factory=list)
+    rows: list[int] = field(default_factory=list)
+    cached_seconds: list[float] = field(default_factory=list)
+    smooth_seconds: list[float] = field(default_factory=list)
+    replan_seconds: list[float] = field(default_factory=list)
+    cached_paths: list[str] = field(default_factory=list)
+    replan_paths: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    statement_compiles: int = 0
+
+    def slowdowns(self, series: list[float]) -> list[float]:
+        """Per-point ratio of ``series`` over the fresh-replan time."""
+        return [s / r if r > 0 else float("inf")
+                for s, r in zip(series, self.replan_seconds)]
+
+    @property
+    def max_cached_slowdown(self) -> float:
+        return max(self.slowdowns(self.cached_seconds))
+
+    @property
+    def max_smooth_slowdown(self) -> float:
+        return max(self.slowdowns(self.smooth_seconds))
+
+    def report(self) -> str:
+        headers = ["sel%", "rows", "replan_s", "replan", "cached_s",
+                   "cached", "slowdown", "smooth_s", "slowdown"]
+        cached_sd = self.slowdowns(self.cached_seconds)
+        smooth_sd = self.slowdowns(self.smooth_seconds)
+        table = []
+        for i, pct in enumerate(self.selectivities_pct):
+            table.append([
+                pct, self.rows[i],
+                self.replan_seconds[i], self.replan_paths[i],
+                self.cached_seconds[i], self.cached_paths[i],
+                cached_sd[i],
+                self.smooth_seconds[i], smooth_sd[i],
+            ])
+        lines = [format_table(
+            headers, table,
+            title=("Prepared-statement drift — one cached plan re-executed "
+                   "across a drifting selectivity parameter\n"
+                   f"(statement: {DRIFT_SQL}; simulated times)"),
+        )]
+        lines.append(
+            f"max slowdown vs fresh replan: cached classic plan "
+            f"{self.max_cached_slowdown:.1f}x, cached smooth plan "
+            f"{self.max_smooth_slowdown:.1f}x"
+        )
+        lines.append(
+            f"plan cache after sweep: {self.cache_misses} misses, "
+            f"{self.cache_hits} hits, {self.cache_invalidations} "
+            f"invalidations; statement compiles: "
+            f"{self.statement_compiles}"
+        )
+        return "\n".join(lines)
+
+
+def run_prepared_drift(num_tuples: int = DEFAULT_DRIFT_TUPLES,
+                       drift_pct: tuple = DEFAULT_DRIFT_PCT,
+                       setup: MicroSetup | None = None
+                       ) -> PreparedDriftResult:
+    """Prepare once, cache the plan at the first point, then drift.
+
+    Builds its own database by default (the sweep installs fresh
+    statistics and populates the plan cache — too intrusive for a
+    shared fixture).
+    """
+    setup = setup or make_micro_db(num_tuples)
+    db = setup.db
+    db.analyze()  # fresh statistics: the replan baseline estimates well
+
+    compiles0 = db.sql_compile_count
+    hits0 = db.plan_cache.stats.hits
+    misses0 = db.plan_cache.stats.misses
+    invalidations0 = db.plan_cache.stats.invalidations
+
+    classic = db.connect(options=CLASSIC_OPTIONS)
+    smooth = db.connect(options=SMOOTH_OPTIONS)
+    st_classic = classic.prepare(DRIFT_SQL)
+    st_smooth = smooth.prepare(DRIFT_SQL)
+
+    result = PreparedDriftResult()
+    for pct in drift_pct:
+        hi = round(pct / 100.0 * VALUE_DOMAIN)
+        params = {"lo": 0, "hi": hi}
+        cached = st_classic.run(params, keep_rows=False)
+        smoothed = st_smooth.run(params, keep_rows=False)
+        # The yardstick: a fresh cost-based plan for these exact values
+        # (Database.execute plans directly — it never touches the cache).
+        fresh = db.execute(
+            db.query("micro").where(Between("c2", 0, hi, True, False)),
+            keep_rows=False, options=CLASSIC_OPTIONS,
+        )
+        assert cached.row_count == smoothed.row_count == fresh.row_count
+        result.selectivities_pct.append(pct)
+        result.rows.append(cached.row_count)
+        result.cached_seconds.append(cached.total_seconds)
+        result.smooth_seconds.append(smoothed.total_seconds)
+        result.replan_seconds.append(fresh.total_seconds)
+        result.cached_paths.append(cached.decisions[0].path)
+        result.replan_paths.append(fresh.decisions[0].path)
+
+    result.statement_compiles = db.sql_compile_count - compiles0
+    result.cache_hits = db.plan_cache.stats.hits - hits0
+    result.cache_misses = db.plan_cache.stats.misses - misses0
+    result.cache_invalidations = (
+        db.plan_cache.stats.invalidations - invalidations0
+    )
+    return result

@@ -17,9 +17,22 @@ from repro.optimizer.logical import (
     OrderItem,
     QuerySpec,
 )
+from repro.optimizer.params import (
+    ParamMarker,
+    resolve_params,
+    substitute_spec,
+)
+from repro.optimizer.plan_cache import (
+    PlanCache,
+    PlanCacheStats,
+    options_fingerprint,
+)
 from repro.optimizer.planner import (
+    AccessPin,
+    JoinPin,
     PlanDecision,
     PlanNode,
+    PlanRecipe,
     PlannedQuery,
     Planner,
     PlannerOptions,
@@ -33,14 +46,20 @@ from repro.optimizer.statistics import (
 
 __all__ = [
     "AccessPathCost",
+    "AccessPin",
     "ColumnStats",
     "Histogram",
     "IndexAdvisor",
+    "JoinPin",
     "JoinSpec",
     "MapSpec",
     "OrderItem",
+    "ParamMarker",
+    "PlanCache",
+    "PlanCacheStats",
     "PlanDecision",
     "PlanNode",
+    "PlanRecipe",
     "PlannedQuery",
     "Planner",
     "PlannerOptions",
@@ -54,4 +73,7 @@ __all__ = [
     "estimate_cardinality",
     "estimate_selectivity",
     "index_size_bytes",
+    "options_fingerprint",
+    "resolve_params",
+    "substitute_spec",
 ]

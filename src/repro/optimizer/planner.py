@@ -99,6 +99,43 @@ class PlanDecision:
     alternatives: dict[str, float] = field(default_factory=dict)
 
 
+# -- plan recipes (cached-plan replay) ---------------------------------------
+
+@dataclass(frozen=True)
+class AccessPin:
+    """One frozen access-path choice: which path, anchored on which
+    indexed column (``None`` when no index opportunity was used)."""
+
+    path: str
+    column: str | None = None
+
+
+@dataclass(frozen=True)
+class JoinPin:
+    """One frozen join lowering: join order is the pin sequence itself;
+    ``inner`` records the inner side's access pin for hash joins."""
+
+    table: str
+    method: str                   # "inlj" | "hash"
+    inner: AccessPin | None = None
+
+
+@dataclass(frozen=True)
+class PlanRecipe:
+    """Every decision a plan embodies, minus the estimates behind it.
+
+    A recipe is what the plan cache stores: replaying it through
+    :meth:`Planner.plan_query` rebuilds the *same plan shape* for a new
+    parameter binding without re-running access-path or join-method
+    selection — exactly how a prepared statement's cached plan goes
+    stale as its bind parameters drift (the scenario Smooth Scan's
+    statistics-oblivious operators are built to survive).
+    """
+
+    base: AccessPin
+    joins: tuple[JoinPin, ...] = ()
+
+
 @dataclass
 class PlanNode:
     """One node of a planned query tree, instrumented for explain().
@@ -123,11 +160,17 @@ class PlanNode:
 
 @dataclass
 class PlannedQuery:
-    """A lowered logical query: physical root + the decision trail."""
+    """A lowered logical query: physical root + the decision trail.
+
+    ``recipe`` freezes the decisions this plan embodies; the plan cache
+    stores it so later executions (same statement, new parameters) can
+    replay the shape without re-planning.
+    """
 
     spec: QuerySpec
     root: Operator
     tree: PlanNode
+    recipe: "PlanRecipe | None" = None
 
     def nodes(self):
         """Yield every PlanNode in preorder (the traversal all the
@@ -210,7 +253,8 @@ class Planner:
             op = Sort(op, [order_by])
         return op, decision
 
-    def plan_query(self, spec: QuerySpec) -> PlannedQuery:
+    def plan_query(self, spec: QuerySpec,
+                   recipe: PlanRecipe | None = None) -> PlannedQuery:
         """Lower a logical query into an instrumented physical plan.
 
         Per-table access paths honor the planner's options exactly as
@@ -221,7 +265,17 @@ class Planner:
         uses.  Every node is wrapped in a cost-free
         :class:`~repro.exec.misc.RowCounter` so the returned
         :class:`PlannedQuery` can report actual cardinalities.
+
+        With ``recipe`` (from a plan-cache hit) decision points are
+        *replayed* instead of chosen: the recorded access paths, join
+        order and join methods are rebuilt around the spec's current
+        predicate values.  Estimates are still recomputed — they feed
+        ``explain()`` — but never steer; an inconsistent pin (a recipe
+        from a different statement shape) silently falls back to fresh
+        cost-based choice for the remaining decisions.
         """
+        from repro.optimizer.params import require_bound
+        require_bound(spec)
         schemas = self._referenced_schemas(spec)
         pushed, cross = self._split_predicate(spec, schemas)
 
@@ -236,14 +290,17 @@ class Planner:
         op, decision, ordered = self._plan_access(
             spec.table, pushed[spec.table], scan_order,
             force=self.options.force_path,
+            pin=recipe.base if recipe is not None else None,
         )
         node = self._node(op, est_rows=decision.estimated_cardinality,
                           est_cost=decision.estimated_cost,
                           decision=decision)
         est_rows = decision.estimated_cardinality
+        join_pins: list[JoinPin] = []
 
         node, est_rows, cross = self._plan_joins(
-            spec, node, est_rows, pushed, cross
+            spec, node, est_rows, pushed, cross,
+            recipe=recipe, pins_out=join_pins,
         )
         if cross:
             self._raise_unresolvable(spec, node, cross)
@@ -273,7 +330,12 @@ class Planner:
             est_rows = min(est_rows, spec.limit)
             node = self._node(limit, est_rows=est_rows, children=(node,))
 
-        return PlannedQuery(spec=spec, root=node.operator, tree=node)
+        built = PlanRecipe(
+            base=AccessPin(decision.path, decision.column),
+            joins=tuple(join_pins),
+        )
+        return PlannedQuery(spec=spec, root=node.operator, tree=node,
+                            recipe=built)
 
     def join_method_costs(self, est_outer_rows: int, inner_table: str,
                           inner_key: str) -> dict[str, float]:
@@ -310,7 +372,8 @@ class Planner:
     def _plan_access(self, table_name: str,
                      predicate: Predicate | None,
                      order_by: str | None,
-                     force: str | None = None
+                     force: str | None = None,
+                     pin: AccessPin | None = None
                      ) -> tuple[Operator, PlanDecision, bool]:
         """Choose and build one access path (no posterior sort).
 
@@ -318,13 +381,25 @@ class Planner:
         the output already satisfies an ascending ``order_by``.
         ``force`` pins the path for this scan; callers decide whether
         ``options.force_path`` applies (base-table scans) or not (join
-        inner sides).
+        inner sides).  ``pin`` replays a cached decision: the recorded
+        path *and* anchor column are rebuilt without choosing — the
+        plan-cache contract that a prepared statement's second execution
+        uses the first execution's plan, estimates be damned.  A force
+        wins over a pin (a forced plan re-forces identically anyway).
         """
         table = self.db.table(table_name)
         predicate = predicate or TruePredicate()
-        column, key_range, residual = self._best_index_opportunity(
-            table, predicate, order_by
-        )
+        if force is None and pin is not None \
+                and not self._pin_applies(table, pin):
+            pin = None  # stale/foreign pin: fall back to fresh choice
+        if force is None and pin is not None:
+            column, key_range, residual = self._pinned_opportunity(
+                predicate, order_by, pin
+            )
+        else:
+            column, key_range, residual = self._best_index_opportunity(
+                table, predicate, order_by
+            )
         selectivity = card_est.estimate_selectivity(
             self.catalog, table_name, predicate
         )
@@ -333,9 +408,11 @@ class Planner:
             fallback_rows=table.row_count, selectivity=selectivity,
         )
 
-        if force == "smooth" or (
-                force is None and self.options.enable_smooth
-                and column is not None):
+        pinned_path = pin.path if force is None and pin is not None \
+            else None
+        if force == "smooth" or pinned_path == "smooth" or (
+                force is None and pinned_path is None
+                and self.options.enable_smooth and column is not None):
             return self._smooth_plan(
                 table, column, key_range, residual, order_by,
                 selectivity, est_card,
@@ -363,6 +440,15 @@ class Planner:
                     "no usable index for the predicate"
                 )
             choice = forced[0]
+        elif pinned_path is not None:
+            # Replay: same candidate set and costs as a fresh plan (the
+            # decision record — and explain() — must not depend on
+            # whether the plan came from the cache), but the recorded
+            # path is taken regardless of today's cheapest.
+            replayed = [p for p in paths if p.path == pinned_path]
+            choice = replayed[0] if replayed else costing.cheapest_path(
+                paths
+            )
         else:
             choice = costing.cheapest_path(paths)
         op = self._build_scan(
@@ -381,6 +467,27 @@ class Planner:
         )
         ordered = choice.path == "index" and order_by == column
         return op, decision, ordered
+
+    def _pin_applies(self, table: Table, pin: AccessPin) -> bool:
+        """A pin is usable when its anchor index still exists."""
+        return pin.column is None or table.has_index(pin.column)
+
+    def _pinned_opportunity(self, predicate: Predicate,
+                            order_by: str | None, pin: AccessPin
+                            ) -> tuple[str | None, KeyRange | None,
+                                       Predicate]:
+        """The (column, range, residual) triple for a replayed pin.
+
+        Mirrors :meth:`_best_index_opportunity` with the column decided:
+        extract the range the predicate puts on the pinned column, or
+        fall back to a full sweep (the order-only case).
+        """
+        if pin.column is None:
+            return None, None, predicate
+        key_range, residual = extract_range(predicate, pin.column)
+        if key_range is None:
+            return pin.column, KeyRange.all(), predicate
+        return pin.column, key_range, residual
 
     def _best_index_opportunity(self, table: Table, predicate: Predicate,
                                 order_by: str | None
@@ -530,12 +637,22 @@ class Planner:
         )
 
     def _plan_joins(self, spec: QuerySpec, node: PlanNode, est_rows: int,
-                    pushed: dict[str, Predicate], cross: list[Predicate]
+                    pushed: dict[str, Predicate], cross: list[Predicate],
+                    recipe: PlanRecipe | None = None,
+                    pins_out: list[JoinPin] | None = None
                     ) -> tuple[PlanNode, int, list[Predicate]]:
-        """Order and lower every join, interleaving cross-table filters."""
+        """Order and lower every join, interleaving cross-table filters.
+
+        With ``recipe`` the recorded join order and methods are replayed;
+        a pin that no longer matches the spec (different join set) drops
+        the rest of the recipe and resumes fresh choice.  ``pins_out``
+        collects the decisions actually taken, for the built plan's own
+        recipe.
+        """
         remaining = list(spec.joins)
         reorderable = all(j.how == "inner" for j in remaining)
         nullable = False  # becomes True once a left join is lowered
+        pin_queue = list(recipe.joins) if recipe is not None else []
         while remaining:
             schema = node.operator.schema
             candidates = [
@@ -547,15 +664,30 @@ class Planner:
                     f"cannot resolve join keys {keys} from the tables "
                     "joined so far — check join order and key names"
                 )
-            if reorderable:
-                join = min(candidates, key=lambda j: self._estimate_join_card(
-                    est_rows, j, pushed[j.table]
-                ))
-            else:
-                join = candidates[0]
+            join = None
+            join_pin: JoinPin | None = None
+            if pin_queue:
+                join_pin = pin_queue[0]
+                join = next((j for j in candidates
+                             if j.table == join_pin.table), None)
+                if join is None:  # recipe doesn't match this spec
+                    pin_queue, join_pin = [], None
+                else:
+                    pin_queue.pop(0)
+            if join is None:
+                if reorderable:
+                    join = min(
+                        candidates,
+                        key=lambda j: self._estimate_join_card(
+                            est_rows, j, pushed[j.table]
+                        ),
+                    )
+                else:
+                    join = candidates[0]
             remaining.remove(join)
             node, est_rows = self._plan_one_join(
-                node, est_rows, join, pushed[join.table]
+                node, est_rows, join, pushed[join.table],
+                pin=join_pin, pins_out=pins_out,
             )
             nullable = nullable or join.how == "left"
             node, est_rows, cross = self._apply_ready_filters(
@@ -564,17 +696,28 @@ class Planner:
         return node, est_rows, cross
 
     def _plan_one_join(self, outer: PlanNode, est_outer: int,
-                       join: JoinSpec, inner_pred: Predicate
+                       join: JoinSpec, inner_pred: Predicate,
+                       pin: JoinPin | None = None,
+                       pins_out: list[JoinPin] | None = None
                        ) -> tuple[PlanNode, int]:
-        """Lower one join, choosing INLJ vs. hash by estimated cost."""
+        """Lower one join, choosing INLJ vs. hash by estimated cost.
+
+        ``pin`` replays a recorded method choice (and the hash inner
+        side's access pin); costs are still computed so the decision
+        record is identical to a fresh plan's.
+        """
         est_card = self._estimate_join_card(est_outer, join, inner_pred)
         costs = self.join_method_costs(est_outer, join.table, join.right_key)
-        use_inlj = (
+        inlj_legal = (
             join.how == "inner"
             and self.options.enable_inlj
             and self.options.force_path != "full"
-            and costs["inlj"] < costs["hash"]
+            and costs["inlj"] != float("inf")
         )
+        if pin is not None:
+            use_inlj = pin.method == "inlj" and inlj_legal
+        else:
+            use_inlj = inlj_legal and costs["inlj"] < costs["hash"]
         if use_inlj:
             inner = self.db.table(join.table)
             residual = None if isinstance(inner_pred, TruePredicate) \
@@ -591,6 +734,8 @@ class Planner:
                 estimated_cardinality=est_card,
                 estimated_cost=costs["inlj"], alternatives=costs,
             )
+            if pins_out is not None:
+                pins_out.append(JoinPin(table=join.table, method="inlj"))
             return self._node(op, est_rows=est_card,
                               est_cost=costs["inlj"], decision=decision,
                               children=(outer,)), est_card
@@ -599,6 +744,7 @@ class Planner:
         inner_op, inner_decision, _ = self._plan_access(
             join.table, inner_pred, None,
             force="full" if self.options.force_path == "full" else None,
+            pin=pin.inner if pin is not None else None,
         )
         inner_node = self._node(
             inner_op, est_rows=inner_decision.estimated_cardinality,
@@ -612,6 +758,11 @@ class Planner:
             estimated_cardinality=est_card,
             estimated_cost=costs["hash"], alternatives=costs,
         )
+        if pins_out is not None:
+            pins_out.append(JoinPin(
+                table=join.table, method="hash",
+                inner=AccessPin(inner_decision.path, inner_decision.column),
+            ))
         node = self._node(op, est_rows=est_card, est_cost=costs["hash"],
                           decision=decision, children=(outer, inner_node))
         return node, est_card

@@ -15,12 +15,19 @@ uses — measurement-identically, as the TPC-H tests assert.  Planner
 hints ride in comments (``/*+ force_path(smooth) */``, ``/*+ no_inlj */``)
 and ``EXPLAIN SELECT ...`` renders the estimated-vs-actual plan tree.
 
+Statements may carry bind parameters — ``?`` positional or ``:name``
+named — which bind once into a *parameterized* spec and are substituted
+per execution (no re-lex/parse/bind), the substrate of the session
+layer's prepared statements.
+
 Entry points:
 
 * :func:`compile_statement` — text → :class:`BoundStatement` (spec +
-  hint-derived options + explain flag).
-* :meth:`repro.database.Database.sql` / ``.explain`` — the one-call
-  facade applications use.
+  hint-derived options + explain flag + parameter slots); counted on
+  ``db.sql_compile_count``.
+* :meth:`repro.database.Database.connect` — the
+  Connection/Cursor/PreparedStatement session layer applications use
+  (``Database.sql``/``.explain`` remain as deprecated one-call shims).
 * ``python -m repro.sql`` — an interactive REPL over a loaded workload.
 """
 
@@ -29,7 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sql.binder import Binder, BoundStatement, VALID_HINTS
-from repro.sql.lexer import Lexer, Token, tokenize
+from repro.sql.lexer import Lexer, Token, normalize_statement, tokenize
 from repro.sql.parser import parse
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,11 +49,17 @@ __all__ = [
     "Token",
     "VALID_HINTS",
     "compile_statement",
+    "normalize_statement",
     "parse",
     "tokenize",
 ]
 
 
 def compile_statement(db: "Database", text: str) -> BoundStatement:
-    """Parse and bind one SQL statement against ``db``'s catalog."""
+    """Parse and bind one SQL statement against ``db``'s catalog.
+
+    Every call counts on ``db.sql_compile_count`` — the observable that
+    lets tests assert a prepared statement really compiled only once.
+    """
+    db.sql_compile_count += 1
     return Binder(db, text).bind(parse(text))

@@ -53,6 +53,23 @@ class ColumnRef(Node):
 
 
 @dataclass(frozen=True)
+class ParamRef(Node):
+    """A bind parameter: ``?`` (positional) or ``:name`` (named).
+
+    ``index`` is the 0-based position in statement order — the slot the
+    executed value lands in.  Named parameters may repeat; each mention
+    is its own ``ParamRef`` (own index), sharing the name.
+    """
+
+    index: int
+    name: str | None = None
+
+    @property
+    def display(self) -> str:
+        return f":{self.name}" if self.name else "?"
+
+
+@dataclass(frozen=True)
 class Star(Node):
     """``*`` — in a select list or ``count(*)``."""
 
@@ -90,7 +107,7 @@ class Case(Node):
     otherwise: "Expr"
 
 
-Expr = Literal | ColumnRef | Arith | Negate | FuncCall | Case
+Expr = Literal | ColumnRef | ParamRef | Arith | Negate | FuncCall | Case
 
 
 # -- boolean expressions ----------------------------------------------------
@@ -198,7 +215,13 @@ class Hint(Node):
 
 @dataclass(frozen=True)
 class Select(Node):
-    """A full (possibly EXPLAIN-prefixed) SELECT statement."""
+    """A full (possibly EXPLAIN-prefixed) SELECT statement.
+
+    ``params`` lists every bind parameter of the whole statement
+    (subqueries included) in source order — only the *top-level* Select
+    carries it, filled in by the parser once the statement is complete.
+    ``limit`` may itself be a :class:`ParamRef` (``LIMIT ?``).
+    """
 
     items: tuple[SelectItem, ...]
     table: str
@@ -206,6 +229,7 @@ class Select(Node):
     where: BoolExpr | None = None
     group_by: tuple[ColumnRef, ...] = ()
     order_by: tuple[OrderKey, ...] = ()
-    limit: int | None = None
+    limit: "int | ParamRef | None" = None
     hints: tuple[Hint, ...] = ()
     explain: bool = False
+    params: tuple[ParamRef, ...] = ()

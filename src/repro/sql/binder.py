@@ -44,9 +44,16 @@ from repro.exec.expressions import (
     conjunction,
 )
 from repro.optimizer.logical import JoinSpec, MapSpec, OrderItem, QuerySpec
+from repro.optimizer.params import (
+    ParamBox,
+    ParamMarker,
+    predicate_markers,
+    resolve_params,
+    substitute_spec,
+)
 from repro.optimizer.planner import FORCEABLE_PATHS, PlannerOptions
 from repro.sql import ast
-from repro.sql.lexer import error_at
+from repro.sql.lexer import error_at, normalize_statement
 from repro.storage.types import Column, ColumnType, Row, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,11 +77,55 @@ VALID_HINTS = ("force_path", "no_inlj", "no_index", "no_sort_scan", "smooth")
 
 @dataclass(frozen=True)
 class BoundStatement:
-    """A bound SQL statement: the logical spec plus hint-derived options."""
+    """A bound SQL statement: the logical spec plus hint-derived options.
+
+    When the statement used ``?`` / ``:name`` placeholders the spec is
+    *parameterized* — predicates and LIMIT carry
+    :class:`~repro.optimizer.params.ParamMarker` slots — and
+    :meth:`bind_params` produces the concrete spec for one execution.
+    ``normalized`` is the whitespace/comment-insensitive statement text
+    the plan cache keys on.
+    """
 
     spec: QuerySpec
     explain: bool
     hint_options: PlannerOptions | None
+    normalized: str = ""
+    param_names: tuple[str | None, ...] = ()
+    param_box: ParamBox | None = None
+    #: Slots feeding sum()/avg() arguments: a string there would only
+    #: surface as a raw TypeError deep inside the aggregate, so these
+    #: are checked when values arrive (the literal twin is rejected at
+    #: bind time by _check_agg_input).
+    numeric_params: frozenset[int] = frozenset()
+
+    @property
+    def param_count(self) -> int:
+        """How many bind parameters the statement declares."""
+        return len(self.param_names)
+
+    def bind_params(self, params: object = None) -> QuerySpec:
+        """The concrete spec for one execution.
+
+        Validates and orders ``params`` (a sequence for ``?`` style, a
+        mapping for ``:name`` style), fills the compiled-callable slots,
+        and substitutes every structural marker — without re-lexing,
+        re-parsing or re-binding the statement.
+        """
+        values = resolve_params(self.param_names, params)
+        for i in sorted(self.numeric_params):
+            value = values[i]
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                name = self.param_names[i]
+                label = f":{name}" if name else f"parameter {i + 1}"
+                raise SqlError(
+                    f"{label} is an argument of sum()/avg() and must "
+                    f"be numeric, got {value!r}"
+                )
+        if self.param_box is not None:
+            self.param_box.values = values
+        return substitute_spec(self.spec, values)
 
     def planner_options(
             self, base: PlannerOptions | None = None) -> PlannerOptions | None:
@@ -108,6 +159,10 @@ class Binder:
     def __init__(self, db: "Database", text: str = ""):
         self.db = db
         self.text = text
+        # Parameter slots shared by every compiled value callable of the
+        # statement being bound; bind_params() fills it per execution.
+        self._box = ParamBox()
+        self._numeric_params: set[int] = set()
 
     # -- error helpers ------------------------------------------------------
 
@@ -178,6 +233,9 @@ class Binder:
         order_by = self._bind_order(select, visible, group_names,
                                     aggregates, maps)
 
+        limit: object = select.limit
+        if isinstance(limit, ast.ParamRef):
+            limit = ParamMarker(limit.index, limit.name)
         spec = QuerySpec(
             table=base.name,
             predicate=predicate,
@@ -187,12 +245,16 @@ class Binder:
             select=select_cols,
             maps=maps,
             order_by=order_by,
-            limit=select.limit,
+            limit=limit,  # type: ignore[arg-type]
         )
         return BoundStatement(
             spec=spec,
             explain=select.explain,
             hint_options=self._bind_hints(select.hints),
+            normalized=normalize_statement(self.text) if self.text else "",
+            param_names=tuple(p.name for p in select.params),
+            param_box=self._box,
+            numeric_params=frozenset(self._numeric_params),
         )
 
     # -- tables and joins -----------------------------------------------------
@@ -463,7 +525,11 @@ class Binder:
             return Not(between) if expr.negated else between
         if isinstance(expr, ast.InExpr):
             column = self._operand_column(expr.operand, scope)
-            in_list = InList(column, tuple(expr.values))
+            in_list = InList(column, tuple(
+                ParamMarker(v.index, v.name)
+                if isinstance(v, ast.ParamRef) else v
+                for v in expr.values
+            ))
             return Not(in_list) if expr.negated else in_list
         if isinstance(expr, ast.LikeExpr):
             return self._lower_like(expr, scope)
@@ -473,16 +539,18 @@ class Binder:
                        scope: list[tuple[str, Schema]]) -> Predicate:
         op = _COMPARE_OPS[expr.op]
         left, right = expr.left, expr.right
+        constant = (ast.Literal, ast.ParamRef)
         if isinstance(left, ast.ColumnRef) and isinstance(
                 right, ast.ColumnRef):
             return ColumnComparison(self._resolve(left, scope), op,
                                     self._resolve(right, scope))
-        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
-            return Comparison(self._resolve(left, scope), op, right.value)
-        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        if isinstance(left, ast.ColumnRef) and isinstance(right, constant):
+            return Comparison(self._resolve(left, scope), op,
+                              self._constant_of(right))
+        if isinstance(left, constant) and isinstance(right, ast.ColumnRef):
             return Comparison(self._resolve(right, scope), _FLIPPED[op],
-                              left.value)
-        if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+                              self._constant_of(left))
+        if isinstance(left, constant) and isinstance(right, constant):
             raise self._error(
                 "comparison of two literals is not supported", expr
             )
@@ -537,7 +605,15 @@ class Binder:
     def _literal(self, expr: ast.Expr) -> object:
         if isinstance(expr, ast.Literal):
             return expr.value
-        raise self._error("expected a literal value", expr)
+        if isinstance(expr, ast.ParamRef):
+            return ParamMarker(expr.index, expr.name)
+        raise self._error("expected a literal value or parameter", expr)
+
+    def _constant_of(self, expr: "ast.Literal | ast.ParamRef") -> object:
+        """The predicate-side value of a literal or parameter node."""
+        if isinstance(expr, ast.ParamRef):
+            return ParamMarker(expr.index, expr.name)
+        return expr.value
 
     # -- select list ----------------------------------------------------------
 
@@ -690,6 +766,10 @@ class Binder:
             return AggSpec(func, alias or f"{func}_{column}", column=column)
         fn, ctype = self._compile_value(call.arg, visible)
         self._check_agg_input(func, ctype, call)
+        if func in ("sum", "avg"):
+            # Parameters in the argument have no bind-time type; defer
+            # the numeric check to bind_params (value arrival).
+            self._numeric_params.update(_param_indices(call.arg))
         return AggSpec(func, alias or f"{func}_{ordinal}", value=fn)
 
     def _check_agg_input(self, func: str, ctype: ColumnType,
@@ -742,6 +822,12 @@ class Binder:
                      else ColumnType.INT if isinstance(value, int)
                      else ColumnType.CHAR)
             return (lambda row: value), ctype
+        if isinstance(expr, ast.ParamRef):
+            # Late-bound: the closure reads the statement's parameter
+            # slots, so re-executions with new values need no recompile.
+            box = self._box
+            index = expr.index
+            return (lambda row: box.values[index]), ColumnType.FLOAT
         if isinstance(expr, ast.ColumnRef):
             name = self._resolve(expr, scope)
             pos = schema.index_of(name)
@@ -756,6 +842,13 @@ class Binder:
             return (lambda row: op(left(row), right(row))), ColumnType.FLOAT
         if isinstance(expr, ast.Case):
             condition = self._lower_bool(expr.condition, scope)
+            if predicate_markers(condition):
+                # The condition is compiled to a row predicate *now*; a
+                # marker would be compared against rows at runtime.
+                raise self._error(
+                    "parameters inside CASE conditions are not "
+                    "supported", expr,
+                )
             matches = condition.bind(schema)
             then, t_type = self._compile_value(expr.then, scope)
             otherwise, _o = self._compile_value(expr.otherwise, scope)
@@ -842,6 +935,19 @@ def _flatten_and(expr: ast.BoolExpr) -> list[ast.BoolExpr]:
             out.extend(_flatten_and(part))
         return out
     return [expr]
+
+
+def _param_indices(expr: object) -> set[int]:
+    """Slot indices of every ParamRef inside a value expression."""
+    if isinstance(expr, ast.ParamRef):
+        return {expr.index}
+    if isinstance(expr, ast.Arith):
+        return _param_indices(expr.left) | _param_indices(expr.right)
+    if isinstance(expr, ast.Negate):
+        return _param_indices(expr.operand)
+    if isinstance(expr, ast.Case):
+        return _param_indices(expr.then) | _param_indices(expr.otherwise)
+    return set()
 
 
 def _contains_func(expr: object) -> bool:

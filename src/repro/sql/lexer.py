@@ -33,8 +33,10 @@ _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">",
 class Token:
     """One lexeme: kind, normalized value, and its source position."""
 
-    kind: str          # KEYWORD | IDENT | NUMBER | STRING | OP | HINT | EOF
-    value: object      # keyword/op text, identifier, parsed literal, hint body
+    kind: str          # KEYWORD | IDENT | NUMBER | STRING | OP | HINT
+                       # | PARAM | EOF
+    value: object      # keyword/op text, identifier, parsed literal,
+                       # hint body, parameter name (None for '?')
     line: int          # 1-based
     column: int        # 1-based
     text: str = ""     # the raw lexeme, for error messages
@@ -49,6 +51,8 @@ class Token:
             return f"keyword {self.value}"
         if self.kind == "IDENT":
             return f"identifier {self.value!r}"
+        if self.kind == "PARAM":
+            return f"parameter {self.text}"
         return repr(self.text or str(self.value))
 
 
@@ -120,6 +124,9 @@ class Lexer:
             if ch == "'":
                 yield self._string()
                 continue
+            if ch == "?" or ch == ":":
+                yield self._param()
+                continue
             if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
                 yield self._number()
                 continue
@@ -149,7 +156,14 @@ class Lexer:
                                  text=f"/*+ {body} */")
                 return None
             self._advance()
-        raise self._error("unterminated comment", line, column)
+        # The caret belongs where the '*/' is missing — end of input —
+        # with the opening position named, not under the opener (which
+        # reads as "this comment is illegal here").
+        what = "hint comment" if is_hint else "comment"
+        raise self._error(
+            f"unterminated {what} (opened at line {line}, "
+            f"column {column})"
+        )
 
     def _string(self) -> Token:
         line, column = self.line, self.column
@@ -168,7 +182,29 @@ class Lexer:
                              text=f"'{value}'")
             parts.append(ch)
             self._advance()
-        raise self._error("unterminated string literal", line, column)
+        # As with comments: the defect is the missing closing quote at
+        # end of input; point there and name where the literal opened.
+        raise self._error(
+            f"unterminated string literal (opened at line {line}, "
+            f"column {column})"
+        )
+
+    def _param(self) -> Token:
+        """``?`` (positional) or ``:name`` (named) bind parameters."""
+        line, column = self.line, self.column
+        if self._peek() == "?":
+            self._advance()
+            return Token("PARAM", None, line, column, text="?")
+        self._advance()  # ':'
+        if not (self._peek().isalpha() or self._peek() == "_"):
+            raise self._error(
+                "expected a parameter name after ':'", line, column
+            )
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        name = self.text[start:self.pos]
+        return Token("PARAM", name, line, column, text=f":{name}")
 
     def _number(self) -> Token:
         line, column = self.line, self.column
@@ -213,3 +249,33 @@ class Lexer:
 def tokenize(text: str) -> list[Token]:
     """Lex ``text`` into a token list (EOF-terminated)."""
     return Lexer(text).tokens()
+
+
+def normalize_statement(text: str) -> str:
+    """The whitespace/comment-insensitive canonical form of a statement.
+
+    Re-spells the token stream with single spaces: keywords uppercase,
+    identifiers verbatim (the catalog is case-sensitive), literals in
+    canonical form, planner hints kept (they change the plan, so they
+    must distinguish cache keys), plain comments dropped.  Two statements
+    normalize equal exactly when the parser would produce the same AST —
+    the property the plan cache keys on.
+    """
+    parts: list[str] = []
+    for token in tokenize(text):
+        if token.kind == "EOF":
+            break
+        if token.kind == "KEYWORD":
+            parts.append(str(token.value))
+        elif token.kind == "STRING":
+            escaped = str(token.value).replace("'", "''")
+            parts.append(f"'{escaped}'")
+        elif token.kind == "HINT":
+            parts.append(f"/*+ {token.value} */")
+        elif token.kind == "PARAM":
+            parts.append(token.text)
+        elif token.kind == "NUMBER":
+            parts.append(repr(token.value))
+        else:  # IDENT, OP
+            parts.append(token.text or str(token.value))
+    return " ".join(parts)

@@ -33,6 +33,7 @@ Errors carry line/column and a caret; misspelled keywords surface as
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 
 from repro.errors import SqlError
@@ -60,6 +61,8 @@ class _Parser:
         self.tokens = [t for t in tokenize(text)
                        if not self._capture_hint(t)]
         self.pos = 0
+        self.params: list[ast.ParamRef] = []
+        self._param_style: str | None = None  # "positional" | "named"
 
     def _capture_hint(self, token: Token) -> bool:
         """Pull HINT tokens out of the stream, parsing their bodies."""
@@ -163,13 +166,9 @@ class _Parser:
             raise self._error(
                 f"unexpected {tail.describe()} after end of statement", tail
             )
-        if explain:
-            select = ast.Select(
-                select.line, select.col, select.items, select.table,
-                select.joins, select.where, select.group_by,
-                select.order_by, select.limit, select.hints, explain=True,
-            )
-        return select
+        return dataclasses.replace(
+            select, explain=explain, params=tuple(self.params)
+        )
 
     def _select(self, top_level: bool = False) -> ast.Select:
         start = self._peek()
@@ -203,15 +202,19 @@ class _Parser:
                                              ascending))
                 if not self._accept_op(","):
                     break
-        limit = None
+        limit: int | ast.ParamRef | None = None
         if self._accept_keyword("LIMIT"):
             token = self._peek()
-            if token.kind != "NUMBER" or not isinstance(token.value, int):
+            if token.kind == "PARAM":
+                limit = self._param_ref()
+            elif token.kind == "NUMBER" and isinstance(token.value, int):
+                self._next()
+                limit = token.value
+            else:
                 raise self._error(
-                    f"LIMIT takes an integer, got {token.describe()}", token
+                    f"LIMIT takes an integer or a parameter, got "
+                    f"{token.describe()}", token
                 )
-            self._next()
-            limit = token.value
         hints = tuple(self.hints) if top_level else ()
         return ast.Select(
             start.line, start.column, tuple(items), str(table),
@@ -421,6 +424,8 @@ class _Parser:
         if token.kind in ("NUMBER", "STRING"):
             self._next()
             return ast.Literal(token.line, token.column, token.value)
+        if token.kind == "PARAM":
+            return self._param_ref()
         if self._at_keyword("DATE"):
             return self._date_literal()
         if self._at_keyword("CASE"):
@@ -482,8 +487,26 @@ class _Parser:
         self._expect_keyword("END")
         return ast.Case(token.line, token.column, condition, then, otherwise)
 
+    def _param_ref(self) -> ast.ParamRef:
+        """Consume one PARAM token, assigning its statement-order slot."""
+        token = self._next()
+        name = token.value if token.value is None else str(token.value)
+        style = "named" if name is not None else "positional"
+        if self._param_style is not None and style != self._param_style:
+            raise self._error(
+                "cannot mix '?' and ':name' parameter styles in one "
+                "statement", token,
+            )
+        self._param_style = style
+        ref = ast.ParamRef(token.line, token.column,
+                           index=len(self.params), name=name)
+        self.params.append(ref)
+        return ref
+
     def _literal_value(self) -> object:
         token = self._peek()
+        if token.kind == "PARAM":
+            return self._param_ref()
         if token.kind in ("NUMBER", "STRING"):
             self._next()
             return token.value

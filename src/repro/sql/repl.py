@@ -13,7 +13,8 @@ measured simulated time and I/O.  Meta commands start with a backslash:
     \\tables            list tables with row/page counts
     \\schema <table>    show a table's columns and indexes
     \\mode <m>          planner mode: original | tuned | smooth
-    \\analyze           refresh optimizer statistics (fresh, not stale)
+    \\analyze           refresh statistics (invalidates cached plans)
+                       and print plan-cache hit/miss counters
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 
@@ -39,7 +40,8 @@ _HELP = """
     \\tables            list tables with row/page counts
     \\schema <table>    show a table's columns and indexes
     \\mode <m>          planner mode: original | tuned | smooth
-    \\analyze           refresh optimizer statistics (fresh, not stale)
+    \\analyze           refresh statistics (invalidates cached plans)
+                       and print plan-cache hit/miss counters
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 """
@@ -54,6 +56,9 @@ class Repl:
     def __init__(self, db: Database, out: IO[str] | None = None,
                  mode: str = "tuned"):
         self.db = db
+        # One session for the whole shell: repeated statements hit the
+        # plan cache (\analyze reports its counters).
+        self.conn = db.connect()
         # Bound once, at construction — late enough for harnesses that
         # swap sys.stdout before building the shell (capsys); pass
         # ``out`` explicitly to redirect an already-built shell.
@@ -141,6 +146,10 @@ class Repl:
         elif name == "analyze":
             self.db.analyze()
             self._print("statistics refreshed")
+            # Refreshing statistics bumps the catalog version: cached
+            # plans are now stale and will re-plan on next use.  Show
+            # the cache so the hit/miss/invalidation story is visible.
+            self._print(self.db.plan_cache.describe())
         else:
             self._print(f"error: unknown command \\{command} "
                         "(\\help lists commands)")
@@ -150,7 +159,7 @@ class Repl:
         if not text.strip().rstrip(";").strip():
             return
         try:
-            result = self.db.sql(text, options=self._options())
+            result = self.conn.run(text, options=self._options())
         except ReproError as exc:
             self._print(f"error: {exc}")
             return

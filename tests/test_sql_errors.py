@@ -35,17 +35,50 @@ def message_of(callable_, *args):
 # -- lexer -------------------------------------------------------------------
 
 def test_unterminated_string_golden(db):
+    # The caret points at end of input — where the closing quote is
+    # missing — and the message names where the literal opened.
     message = message_of(parse, "SELECT * FROM micro WHERE c1 = 'abc")
     assert message == (
-        "unterminated string literal at line 1, column 32\n"
+        "unterminated string literal (opened at line 1, column 32) "
+        "at line 1, column 36\n"
         "  SELECT * FROM micro WHERE c1 = 'abc\n"
-        "                                 ^"
+        "                                     ^"
+    )
+
+
+def test_unterminated_string_multiline_caret_at_eof(db):
+    message = message_of(parse, "SELECT *\nFROM micro\nWHERE tag = 'ab")
+    assert message == (
+        "unterminated string literal (opened at line 3, column 13) "
+        "at line 3, column 16\n"
+        "  WHERE tag = 'ab\n"
+        "                 ^"
     )
 
 
 def test_unterminated_comment(db):
     message = message_of(parse, "SELECT * /* oops FROM micro")
-    assert "unterminated comment at line 1, column 10" in message
+    assert ("unterminated comment (opened at line 1, column 10) "
+            "at line 1, column 28") in message
+
+
+def test_unterminated_hint_golden(db):
+    message = message_of(parse, "SELECT /*+ smooth * FROM micro")
+    assert message == (
+        "unterminated hint comment (opened at line 1, column 8) "
+        "at line 1, column 31\n"
+        "  SELECT /*+ smooth * FROM micro\n"
+        "                                ^"
+    )
+
+
+def test_bare_colon_is_not_a_parameter(db):
+    message = message_of(parse, "SELECT * FROM micro WHERE c1 = :")
+    assert message == (
+        "expected a parameter name after ':' at line 1, column 32\n"
+        "  SELECT * FROM micro WHERE c1 = :\n"
+        "                                 ^"
+    )
 
 
 # -- parser ------------------------------------------------------------------
@@ -74,6 +107,14 @@ def test_position_tracks_multiline_statements(db):
     message = message_of(parse, "SELECT *\nFROM micro\nWHERE c1 == 1")
     assert "at line 3, column 11" in message
     assert message.endswith("  WHERE c1 == 1\n            ^")
+
+
+def test_mixed_parameter_styles_golden(db):
+    message = message_of(
+        parse, "SELECT * FROM micro WHERE c1 = ? AND c2 = :hi"
+    )
+    assert ("cannot mix '?' and ':name' parameter styles in one "
+            "statement at line 1, column 43") in message
 
 
 # -- binder ------------------------------------------------------------------

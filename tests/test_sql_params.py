@@ -1,0 +1,246 @@
+"""Bind parameters through the SQL front end: lexer → parser → binder.
+
+The contract: ``?`` and ``:name`` placeholders lex as PARAM tokens, parse
+into ``ParamRef`` nodes carrying statement-order slots, and bind into
+``ParamMarker``-carrying predicates that :meth:`BoundStatement.bind_params`
+turns into exactly the spec a literal statement would have produced.
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import PlanningError, SqlError
+from repro.exec.expressions import Between, Comparison, InList
+from repro.optimizer.params import (
+    ParamMarker,
+    resolve_params,
+    substitute_predicate,
+    unbound_params,
+)
+from repro.sql import compile_statement, normalize_statement, parse, tokenize
+from repro.storage.types import Column, ColumnType, Schema
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.load_table(
+        "t",
+        Schema([Column("a"), Column("b"),
+                Column("tag", ColumnType.CHAR, 4)]),
+        [(i, i * 2, f"t{i:03d}") for i in range(200)],
+    )
+    database.create_index("t", "a")
+    return database
+
+
+# -- lexer -------------------------------------------------------------------
+
+def test_param_tokens():
+    kinds = [(t.kind, t.value, t.text) for t in tokenize("? :lo :h_i2")]
+    assert kinds == [
+        ("PARAM", None, "?"),
+        ("PARAM", "lo", ":lo"),
+        ("PARAM", "h_i2", ":h_i2"),
+        ("EOF", None, ""),
+    ]
+
+
+def test_param_token_describe():
+    q, named = tokenize("? :hi")[:2]
+    assert q.describe() == "parameter ?"
+    assert named.describe() == "parameter :hi"
+
+
+# -- parser ------------------------------------------------------------------
+
+def test_positional_params_indexed_in_statement_order():
+    select = parse("SELECT * FROM t WHERE a >= ? AND a < ? LIMIT ?")
+    assert [p.index for p in select.params] == [0, 1, 2]
+    assert [p.name for p in select.params] == [None, None, None]
+    assert select.limit is select.params[2]
+
+
+def test_named_params_may_repeat():
+    select = parse("SELECT * FROM t WHERE a = :x OR b = :x")
+    assert [(p.index, p.name) for p in select.params] == [(0, "x"), (1, "x")]
+
+
+def test_params_in_in_lists_and_aggregates():
+    select = parse("SELECT sum(b * ?) AS s FROM t WHERE a IN (?, ?, 7)")
+    assert len(select.params) == 3
+
+
+# -- binder ------------------------------------------------------------------
+
+def test_comparison_param_binds_to_marker(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE a < ?")
+    pred = bound.spec.predicate
+    assert isinstance(pred, Comparison)
+    assert pred.value == ParamMarker(0)
+    assert bound.param_count == 1
+    concrete = bound.bind_params((42,))
+    assert concrete.predicate == Comparison(pred.column, pred.op, 42)
+
+
+def test_flipped_literal_param_comparison(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE ? <= a")
+    concrete = bound.bind_params((10,))
+    # '? <= a' flips to 'a >= ?'.
+    assert repr(concrete.predicate) == "a >= 10"
+
+
+def test_merged_between_with_param_bounds(db):
+    # The lo/hi merge canonicalization must survive parameterization:
+    # 'a >= ? AND a < ?' becomes one Between carrying two markers.
+    bound = compile_statement(db, "SELECT * FROM t WHERE a >= ? AND a < ?")
+    pred = bound.spec.predicate
+    assert isinstance(pred, Between)
+    assert (pred.lo, pred.hi) == (ParamMarker(0), ParamMarker(1))
+    concrete = bound.bind_params((5, 50)).predicate
+    assert (concrete.lo, concrete.hi) == (5, 50)
+    assert (concrete.lo_inclusive, concrete.hi_inclusive) == (True, False)
+
+
+def test_explicit_between_params(db):
+    bound = compile_statement(db,
+                              "SELECT * FROM t WHERE a BETWEEN :lo AND :hi")
+    concrete = bound.bind_params({"lo": 3, "hi": 9}).predicate
+    assert (concrete.lo, concrete.hi) == (3, 9)
+    assert concrete.lo_inclusive and concrete.hi_inclusive
+
+
+def test_in_list_params(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE a IN (?, 7, ?)")
+    concrete = bound.bind_params((1, 9)).predicate
+    assert isinstance(concrete, InList)
+    assert concrete.values == (1, 7, 9)
+
+
+def test_limit_param(db):
+    bound = compile_statement(db, "SELECT * FROM t LIMIT :n")
+    assert bound.spec.limit == ParamMarker(0, "n")
+    assert bound.bind_params({"n": 5}).limit == 5
+    with pytest.raises(SqlError, match="non-negative integer"):
+        bound.bind_params({"n": -1})
+    with pytest.raises(SqlError, match="non-negative integer"):
+        bound.bind_params({"n": 2.5})
+
+
+def test_aggregate_argument_param_uses_slots(db):
+    bound = compile_statement(db, "SELECT sum(b * :f) AS s FROM t")
+    spec = bound.bind_params({"f": 10.0})
+    result = db.execute(spec, cold=False)
+    assert result.rows == [(sum(i * 2 for i in range(200)) * 10.0,)]
+
+
+def test_aggregate_param_must_be_numeric(db):
+    # The literal twin (sum('abc')) is rejected at bind time; the
+    # parameterized form is rejected when the value arrives, not as a
+    # TypeError deep inside the aggregate.
+    bound = compile_statement(db, "SELECT sum(:s) AS s FROM t")
+    with pytest.raises(SqlError, match=":s is an argument of sum"):
+        bound.bind_params({"s": "abc"})
+    assert bound.bind_params({"s": 2.5}) is not None
+    bound_q = compile_statement(db, "SELECT avg(b * ?) AS s FROM t")
+    with pytest.raises(SqlError, match="parameter 1 is an argument"):
+        bound_q.bind_params(("x",))
+    with pytest.raises(SqlError, match="must be numeric, got True"):
+        bound_q.bind_params((True,))
+    # count()/min()/max() stay permissive (strings aggregate fine).
+    bound_min = compile_statement(db, "SELECT min(tag) AS m, count(*) "
+                                      "AS n FROM t WHERE a < ?")
+    assert bound_min.numeric_params == frozenset()
+
+
+def test_case_condition_param_rejected(db):
+    with pytest.raises(SqlError,
+                       match="parameters inside CASE conditions"):
+        compile_statement(
+            db,
+            "SELECT sum(CASE WHEN a < ? THEN b ELSE 0 END) AS s FROM t",
+        )
+
+
+def test_literal_vs_param_comparison_rejected(db):
+    with pytest.raises(SqlError,
+                       match="comparison of two literals"):
+        compile_statement(db, "SELECT * FROM t WHERE ? = 3")
+
+
+# -- resolve_params ----------------------------------------------------------
+
+def test_positional_count_mismatch(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE a < ?")
+    with pytest.raises(SqlError, match="takes 1 parameter, got 2"):
+        bound.bind_params((1, 2))
+    with pytest.raises(SqlError, match="takes 1 parameter, got none"):
+        bound.bind_params(None)
+
+
+def test_positional_rejects_mapping_and_strings(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE a < ?")
+    with pytest.raises(SqlError, match="pass a sequence"):
+        bound.bind_params({"a": 1})
+    with pytest.raises(SqlError, match="not a bare string"):
+        bound.bind_params("1")
+
+
+def test_named_missing_and_extra_keys(db):
+    bound = compile_statement(db,
+                              "SELECT * FROM t WHERE a BETWEEN :lo AND :hi")
+    with pytest.raises(SqlError, match="missing parameter values for: hi"):
+        bound.bind_params({"lo": 1})
+    with pytest.raises(SqlError, match="unknown parameter names: typo"):
+        bound.bind_params({"lo": 1, "hi": 2, "typo": 3})
+    with pytest.raises(SqlError, match="pass a mapping"):
+        bound.bind_params((1, 2))
+
+
+def test_parameterless_statement_rejects_params(db):
+    bound = compile_statement(db, "SELECT * FROM t")
+    with pytest.raises(SqlError, match="takes no parameters"):
+        bound.bind_params((1,))
+    assert bound.bind_params(None) is bound.spec  # no-op substitution
+
+
+def test_resolve_params_orders_repeated_names():
+    assert resolve_params(("x", "y", "x"), {"x": 1, "y": 2}) == [1, 2, 1]
+
+
+# -- substitution and the planner guard --------------------------------------
+
+def test_substitute_preserves_identity_when_unparameterized():
+    pred = Between("a", 1, 2)
+    assert substitute_predicate(pred, []) is pred
+
+
+def test_unbound_spec_refuses_to_plan(db):
+    bound = compile_statement(db, "SELECT * FROM t WHERE a < ?")
+    assert [m.index for m in unbound_params(bound.spec)] == [0]
+    with pytest.raises(PlanningError, match="unbound parameter"):
+        db.plan(bound.spec)
+
+
+# -- normalization -----------------------------------------------------------
+
+def test_normalize_ignores_whitespace_comments_and_case():
+    a = normalize_statement(
+        "select * from t  where a >= ? -- c\n AND a < :hi"
+    )
+    b = normalize_statement(
+        "SELECT *\nFROM t WHERE a >= ? /* x */ AND a < :hi"
+    )
+    assert a == b == "SELECT * FROM t WHERE a >= ? AND a < :hi"
+
+
+def test_normalize_keeps_hints_and_literals_distinct():
+    plain = normalize_statement("SELECT * FROM t WHERE a < 5")
+    hinted = normalize_statement("SELECT /*+ smooth */ * FROM t WHERE a < 5")
+    other = normalize_statement("SELECT * FROM t WHERE a < 6")
+    assert len({plain, hinted, other}) == 3
+
+
+def test_normalize_canonicalizes_strings():
+    a = normalize_statement("SELECT * FROM t WHERE tag = 'x''y'")
+    assert "'x''y'" in a
