@@ -37,6 +37,7 @@ from repro.api import (
 from repro.config import CpuCosts, EngineConfig
 from repro.context import ExecutionContext
 from repro.core import (
+    BufferPressureTrigger,
     EagerTrigger,
     ElasticPolicy,
     GreedyPolicy,
@@ -60,29 +61,37 @@ from repro.exec import (
     Between,
     Comparison,
     CompareOp,
+    CooperativeScheduler,
     FullTableScan,
     IndexScan,
     KeyRange,
     RunResult,
     SortScan,
+    WorkloadClient,
+    WorkloadReport,
     measure,
 )
+from repro.runtime import CostLedger, EngineRuntime
 from repro.storage import Column, ColumnType, DiskProfile, Schema
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Between",
+    "BufferPressureTrigger",
     "Column",
     "ColumnType",
     "CompareOp",
     "Comparison",
     "Connection",
+    "CooperativeScheduler",
+    "CostLedger",
     "Cursor",
     "CpuCosts",
     "Database",
     "DiskProfile",
     "EagerTrigger",
+    "EngineRuntime",
     "ElasticPolicy",
     "EngineConfig",
     "ExecutionContext",
@@ -110,5 +119,7 @@ __all__ = [
     "SqlError",
     "StatisticsCatalog",
     "SwitchScan",
+    "WorkloadClient",
+    "WorkloadReport",
     "measure",
 ]

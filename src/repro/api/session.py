@@ -29,12 +29,23 @@ The pieces behind the surface:
   ``arraysize`` sets how many rows a default ``fetchmany()`` returns.
   :meth:`Cursor.result` reports the simulated cost so far, including
   partially-fetched runs.
+* Cursors are **concurrent**: any number may stream on one database at
+  once, interleaving fetches however the application (or the
+  deterministic :class:`~repro.exec.scheduler.CooperativeScheduler`)
+  likes.  They genuinely contend — one shared disk head, one shared
+  buffer pool — while each cursor's :meth:`~Cursor.result` reads its
+  own private :class:`~repro.runtime.CostLedger`, so interleaved
+  queries report correct isolated costs.  Concurrency needs a *warm*
+  connection (``db.connect(cold=False)``): a cold execution resets the
+  shared caches, which raises while another cursor still streams
+  instead of corrupting it.
 
-PEP-249 deviations, deliberate: this is a single-threaded simulation
-with no transactions, so ``commit``/``rollback`` are accepted no-ops;
-``execute`` returns the cursor (chaining); ``EXPLAIN SELECT ...``
-produces a one-column result set of plan-tree lines (plus a plan-cache
-status line), like real engines do.
+Execution is cooperative and deterministic — batches interleave on one
+Python thread, simulated time stands in for wall-clock — with no
+transactions, so ``commit``/``rollback`` are accepted no-ops.  Other
+deliberate PEP-249 deviations: ``execute`` returns the cursor
+(chaining); ``EXPLAIN SELECT ...`` produces a one-column result set of
+plan-tree lines (plus a plan-cache status line), like real engines do.
 """
 
 from __future__ import annotations
@@ -55,7 +66,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: PEP-249 module attributes (informational).
 apilevel = "2.0"
-threadsafety = 1          # threads may share the module, not connections
+#: Threads may share the module, not connections.  Concurrency within
+#: the engine is *cooperative*, not thread-based: many cursors can
+#: stream interleaved on one database (see the module docstring and
+#: :mod:`repro.exec.scheduler`), all on the caller's thread, with
+#: per-cursor cost ledgers keeping their measurements isolated.
+threadsafety = 1
 paramstyle = "qmark"      # ':name' style is additionally supported
 
 #: Default Cursor.arraysize: rows per parameterless ``fetchmany()``.
@@ -85,6 +101,8 @@ class Connection:
     still layer on top, per statement).  ``cold=True`` keeps the paper's
     measurement discipline — every execution starts with dropped caches —
     so per-query measurements stay comparable to ``Database.execute``.
+    Use ``cold=False`` for concurrent cursors: cold executions refuse to
+    reset the shared caches while another cursor is still streaming.
     """
 
     def __init__(self, db: "Database",
@@ -405,6 +423,17 @@ class Cursor:
     def cache_status(self) -> str | None:
         """``"hit"``/``"miss"`` — how the plan cache answered last time."""
         return self._last_cache_outcome
+
+    @property
+    def stream(self) -> StreamingRun | None:
+        """The live streaming run behind this cursor (None for EXPLAIN).
+
+        The handle the :class:`~repro.exec.scheduler.CooperativeScheduler`
+        drains when a cursor is scheduled as a workload query: batches
+        pulled through it are counted (and charged to this cursor's
+        ledger) but not buffered for fetching.
+        """
+        return self._run
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,29 +1,43 @@
 """Execution context: the one handle operators use to touch the substrate.
 
-An :class:`ExecutionContext` bundles the engine configuration, the simulated
-clock, the buffer pool and the disk so that physical operators (and B+-tree
-scans) charge costs through a single narrow interface.  Keeping it separate
-from both the storage and executor packages breaks what would otherwise be
-an import cycle.
+An :class:`ExecutionContext` binds the shared
+:class:`~repro.runtime.EngineRuntime` (clock, disk, buffer pool — the
+physical state every concurrent query contends on) to one query's
+private :class:`~repro.runtime.CostLedger` (what *this* execution is
+charged), so physical operators (and B+-tree scans) charge costs through
+a single narrow interface.  Keeping it separate from both the storage
+and executor packages breaks what would otherwise be an import cycle.
+
+Operators themselves never see the ledger: they charge the shared clock
+and pull pages through the shared pool exactly as before, and the
+runtime's attribution windows (opened around every batch pull by
+:class:`~repro.exec.stats.StreamingRun`) route those charges into the
+context's ledger.
 """
 
 from __future__ import annotations
 
 from repro.config import EngineConfig
-from repro.storage.buffer import BufferPool, PagedFile
-from repro.storage.disk import SimClock, SimulatedDisk
+from repro.runtime import CostLedger, EngineRuntime
+from repro.storage.buffer import PagedFile
 from repro.storage.page import HeapPage
 
 
 class ExecutionContext:
     """Charging surface shared by all operators in one query execution."""
 
-    def __init__(self, config: EngineConfig, clock: SimClock,
-                 disk: SimulatedDisk, buffer: BufferPool):
+    def __init__(self, config: EngineConfig, runtime: EngineRuntime,
+                 ledger: CostLedger | None = None):
         self.config = config
-        self.clock = clock
-        self.disk = disk
-        self.buffer = buffer
+        self.runtime = runtime
+        #: This query's private accounting (see EngineRuntime windows).
+        self.ledger = ledger if ledger is not None else CostLedger()
+        # Hot-path aliases: the runtime's clock/disk/buffer objects are
+        # stable for its lifetime (cold starts reset them in place), so
+        # operators keep attribute-level access without indirection.
+        self.clock = runtime.clock
+        self.disk = runtime.disk
+        self.buffer = runtime.buffer
 
     # -- page access ------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.core.policy import (
 from repro.core.smooth_scan import SmoothScan
 from repro.core.switch_scan import SwitchScan
 from repro.core.trigger import (
+    BufferPressureTrigger,
     EagerTrigger,
     OptimizerDrivenTrigger,
     SLADrivenTrigger,
@@ -25,6 +26,7 @@ from repro.core.trigger import (
 )
 
 __all__ = [
+    "BufferPressureTrigger",
     "EagerTrigger",
     "ElasticPolicy",
     "GreedyPolicy",

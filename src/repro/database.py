@@ -2,8 +2,12 @@
 
 A :class:`Database` is the single entry point applications use: create
 tables, load rows, build indexes, then run queries cold (the paper clears
-all caches before each measured query).  One database owns one simulated
-disk and one buffer pool, shared by every query it executes.
+all caches before each measured query).  One database owns one shared
+:class:`~repro.runtime.EngineRuntime` — simulated clock, disk and buffer
+pool plus the physical catalog — shared by every query it executes,
+while each execution accounts its own costs in a private
+:class:`~repro.runtime.CostLedger` (so concurrent cursors report
+isolated measurements over the one contended substrate).
 
 Queries come in two flavors:
 
@@ -25,6 +29,7 @@ from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.context import ExecutionContext
 from repro.errors import StorageError
 from repro.index.btree import BTreeIndex
+from repro.runtime import EngineRuntime
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskProfile, SimClock, SimulatedDisk
 from repro.storage.heap import HeapFile
@@ -40,32 +45,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.planner import PlannedQuery, PlannerOptions
     from repro.optimizer.statistics import StatisticsCatalog
 
-_MIN_AUTO_BUFFER_PAGES = 64
-_AUTO_BUFFER_FRACTION = 8  # shared_buffers ≈ heap size / 8
-
-
 class Database:
-    """An engine instance: configuration + storage + accounting."""
+    """An engine instance: configuration + shared runtime + accounting."""
 
     def __init__(self, config: EngineConfig | None = None,
                  profile: DiskProfile | None = None):
         self.config = config or DEFAULT_CONFIG
         self.profile = profile or DiskProfile.hdd()
-        self.clock = SimClock()
-        self.disk = SimulatedDisk(
-            profile=self.profile,
-            clock=self.clock,
-            page_size=self.config.page_size,
-            extent_pages=self.config.extent_pages,
-        )
-        self.buffer = BufferPool(
-            disk=self.disk,
-            capacity_pages=self.config.buffer_pool_pages
-            or _MIN_AUTO_BUFFER_PAGES,
-            hit_cpu_ms=self.config.cpu.buffer_hit,
-        )
-        self.tables: dict[str, Table] = {}
-        self._next_file_id = 0
+        #: The shared physical substrate every query of this database
+        #: contends on (clock, disk head, buffer pool, tables).
+        self.runtime = EngineRuntime(self.config, self.profile)
         self._catalog: "StatisticsCatalog | None" = None
         self._catalog_version = 0
         self._plan_cache: "PlanCache | None" = None
@@ -74,12 +63,32 @@ class Database:
         #: database — the counter prepared-statement tests assert on.
         self.sql_compile_count = 0
 
+    # -- shared-runtime delegation ------------------------------------------
+
+    @property
+    def clock(self) -> SimClock:
+        """The shared simulated clock (owned by the runtime)."""
+        return self.runtime.clock
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The shared simulated disk (owned by the runtime)."""
+        return self.runtime.disk
+
+    @property
+    def buffer(self) -> BufferPool:
+        """The shared buffer pool (owned by the runtime)."""
+        return self.runtime.buffer
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """The physical catalog of tables (owned by the runtime)."""
+        return self.runtime.tables
+
     # -- schema operations --------------------------------------------------
 
     def _allocate_file_id(self) -> int:
-        fid = self._next_file_id
-        self._next_file_id += 1
-        return fid
+        return self.runtime.allocate_file_id()
 
     def _register_table(self, name: str, schema: Schema) -> Table:
         """Create and register an empty table (no buffer autosizing)."""
@@ -356,33 +365,24 @@ class Database:
     # -- physical execution ---------------------------------------------
 
     def context(self) -> ExecutionContext:
-        """A fresh charging context bound to this database's substrate."""
-        return ExecutionContext(
-            config=self.config,
-            clock=self.clock,
-            disk=self.disk,
-            buffer=self.buffer,
-        )
+        """A fresh charging context (with its own private cost ledger)."""
+        return ExecutionContext(config=self.config, runtime=self.runtime)
 
     def cold_run(self) -> ExecutionContext:
         """Reset caches, clock and I/O stats; returns a fresh context.
 
         Reproduces the paper's measurement discipline: "we clear database
         buffer caches as well as OS file system caches before each query".
+        Delegates to :meth:`~repro.runtime.EngineRuntime.cold_start`,
+        which raises :class:`~repro.errors.ExecutionError` while any
+        streaming run is still live — resetting shared caches under a
+        draining cursor would silently corrupt its execution.
         """
-        self._autosize_buffer()
-        self.buffer.reset()
-        self.disk.reset()
-        self.clock.reset()
+        self.runtime.cold_start()
         return self.context()
 
     # -- internals -------------------------------------------------------
 
     def _autosize_buffer(self) -> None:
         """Size an auto buffer pool to 1/8 of total heap pages."""
-        if self.config.buffer_pool_pages is not None:
-            return
-        total = sum(t.num_pages for t in self.tables.values())
-        self.buffer.capacity_pages = max(
-            _MIN_AUTO_BUFFER_PAGES, total // _AUTO_BUFFER_FRACTION
-        )
+        self.runtime.autosize_buffer()

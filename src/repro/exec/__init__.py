@@ -40,6 +40,12 @@ from repro.exec.misc import (
     RowCounter,
 )
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
+from repro.exec.scheduler import (
+    CooperativeScheduler,
+    QueryRecord,
+    WorkloadClient,
+    WorkloadReport,
+)
 from repro.exec.sort import Sort
 from repro.exec.stats import RunResult, StreamingRun, measure
 
@@ -51,6 +57,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "Comparison",
     "CompareOp",
+    "CooperativeScheduler",
     "Filter",
     "FullTableScan",
     "HashAggregate",
@@ -70,10 +77,13 @@ __all__ = [
     "Or",
     "Predicate",
     "Project",
+    "QueryRecord",
     "Rename",
     "RowCounter",
     "RunResult",
     "StreamingRun",
+    "WorkloadClient",
+    "WorkloadReport",
     "range_selector",
     "Sort",
     "SortScan",

@@ -3,8 +3,12 @@
 A :class:`RunResult` packages everything the paper reports about a single
 query execution: rows produced, simulated execution time split into CPU and
 blocking I/O wait (Figure 4's bar segments), and the I/O request / volume
-accounting of Table II.  :func:`measure` wraps an operator execution with
-snapshot/diff bookkeeping around the shared clock and disk stats.
+accounting of Table II.  Measurement is ledger-based: every
+:class:`StreamingRun` owns a private :class:`~repro.runtime.CostLedger`
+and wraps each batch pull in a runtime attribution window, so any number
+of interleaved runs on one database report correct isolated costs.
+:func:`measure` wraps an operator execution in a streaming run drained to
+completion.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Callable, Iterable
 
 from repro.database import Database
 from repro.exec.iterator import Operator
+from repro.runtime import CostLedger
 from repro.storage.disk import DiskStats
 from repro.storage.types import Row
 
@@ -77,7 +82,7 @@ def measure(db: Database, plan: Operator, cold: bool = True,
     baselines therefore reflect batch-execution I/O patterns.
     """
     # One bookkeeping implementation: a StreamingRun drained in place.
-    # Snapshot/diff logic lives only there, so one-shot and streaming
+    # Ledger attribution lives only there, so one-shot and streaming
     # executions can never diverge in what they measure.
     run = StreamingRun(db, plan, cold=cold)
     rows: list[Row] = []
@@ -101,33 +106,50 @@ class StreamingRun:
     the same ``batches()`` protocol — so a fully-drained streaming run
     is measurement-identical to a one-shot one.
 
-    Snapshots are taken against the database's shared clock/disk/buffer,
-    so running *another* query on the same database before this one is
-    drained folds that query's charges into this measurement (and a
-    ``cold=True`` start resets the caches mid-stream).  Drain or close a
-    streaming run before starting the next cold run.
+    Costs are accounted in a private :class:`~repro.runtime.CostLedger`:
+    every batch pull opens an attribution window on the shared runtime,
+    so any number of runs may interleave on one database — they contend
+    on the shared disk head and buffer pool (as concurrent queries
+    should) while each ledger records only its own query's charges.
+    Starting a *cold* run (``cold=True`` here, ``Database.cold_run()``,
+    ``execute(cold=True)``) while another run is live raises
+    :class:`~repro.errors.ExecutionError` instead of silently resetting
+    the caches under the draining cursor.
     """
 
     def __init__(self, db: Database, plan: Operator, cold: bool = True):
         self.db = db
         self.plan = plan
+        # cold_run() resets the substrate (and raises if any *other*
+        # run is live) before this run registers itself below.
         ctx = db.cold_run() if cold else db.context()
-        self._io0, self._cpu0 = db.clock.snapshot()
-        self._disk0 = db.disk.stats.snapshot()
-        self._hits0 = db.buffer.stats.hits
-        self._misses0 = db.buffer.stats.misses
+        self.ledger: CostLedger = ctx.ledger
+        self._runtime = db.runtime
         self._batches = plan.batches(ctx)
         self.rows_produced = 0
         self.exhausted = False
         self.closed = False
+        self._runtime.register_stream(self)
 
     def next_batch(self) -> list[Row] | None:
         """The next non-empty batch, or ``None`` once the plan is done."""
         if self.closed or self.exhausted:
             return None
-        batch = next(self._batches, None)
+        self._runtime.begin_attribution(self.ledger)
+        try:
+            batch = next(self._batches, None)
+        except BaseException:
+            # The plan died: the run can never be drained, so drop it
+            # from the live registry (a later cold start must not be
+            # blocked by a corpse).
+            self._runtime.end_attribution()
+            self._runtime.unregister_stream(self)
+            self.closed = True
+            raise
+        self._runtime.end_attribution()
         if batch is None:
             self.exhausted = True
+            self._runtime.unregister_stream(self)
             return None
         self.rows_produced += len(batch)
         return batch
@@ -138,27 +160,38 @@ class StreamingRun:
         ``rows`` lets a caller that kept the fetched rows attach them;
         ``row_count`` always reports rows *produced*, kept or not, and
         ``extras["partial"]`` records whether the plan was cut short.
+        Reads this run's private ledger, so interleaved queries on the
+        same database never fold into each other's measurements.
         """
-        io1, cpu1 = self.db.clock.snapshot()
+        ledger = self.ledger
         run = RunResult(
             rows=rows if rows is not None else [],
-            io_ms=io1 - self._io0,
-            cpu_ms=cpu1 - self._cpu0,
-            disk=self.db.disk.stats.diff(self._disk0),
-            buffer_hits=self.db.buffer.stats.hits - self._hits0,
-            buffer_misses=self.db.buffer.stats.misses - self._misses0,
+            io_ms=ledger.io_ms,
+            cpu_ms=ledger.cpu_ms,
+            disk=ledger.disk.snapshot(),
+            buffer_hits=ledger.buffer_hits,
+            buffer_misses=ledger.buffer_misses,
         )
         run.extras["row_count"] = self.rows_produced
         run.extras["partial"] = not self.exhausted
         return run
 
     def close(self) -> None:
-        """Abandon the run; further ``next_batch`` calls return None."""
+        """Abandon the run; further ``next_batch`` calls return None.
+
+        Generator cleanup (operator ``finally`` blocks) is attributed
+        to this run's ledger, like every other charge it caused.
+        """
         if not self.closed:
             close = getattr(self._batches, "close", None)
             if close is not None:
-                close()
+                self._runtime.begin_attribution(self.ledger)
+                try:
+                    close()
+                finally:
+                    self._runtime.end_attribution()
             self.closed = True
+            self._runtime.unregister_stream(self)
 
 
 def count_rows(rows: Iterable[Row]) -> int:

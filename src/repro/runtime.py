@@ -1,0 +1,279 @@
+"""Shared engine runtime + per-query cost ledgers.
+
+One :class:`EngineRuntime` is the *physical* substrate a
+:class:`~repro.database.Database` owns exactly once and every query it
+executes shares: the simulated clock, the simulated disk (one head
+position, one aggregate :class:`~repro.storage.disk.DiskStats`), the
+buffer pool (one set of resident pages) and the physical catalog of
+tables and file ids.  Concurrent queries genuinely contend on it — one
+client's random index probes seek the shared disk head away from
+another's sequential run, and evictions land on whoever is resident.
+
+What each query *measures*, by contrast, is private: a
+:class:`CostLedger` accumulates exactly the charges incurred while that
+query was running.  Attribution happens through *windows*: a
+:class:`~repro.exec.stats.StreamingRun` opens a window around every
+batch it pulls (:meth:`EngineRuntime.begin_attribution` /
+:meth:`EngineRuntime.end_attribution`), the clock routes millisecond
+charges into the active ledger as they happen, and the integer I/O and
+buffer counters are diffed into the ledger when the window closes.
+Summing the ledgers of every query therefore reproduces the shared
+totals — no charge is lost or double-attributed — while interleaved
+queries report correct isolated costs.
+
+Reset responsibilities live in one place: :meth:`EngineRuntime.
+cold_start` (and only it) implements the paper's cold-run discipline —
+buffer pool contents *and* stats, disk head *and* stats, and the clock,
+together.  ``SimulatedDisk.reset()`` deliberately does not touch the
+clock: the clock belongs to the runtime, not to the disk.  A cold start
+while another query still streams would silently corrupt that query's
+execution, so it raises instead (the guard behind
+``Database.cold_run``).
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.config import EngineConfig
+from repro.errors import ExecutionError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskProfile, DiskStats, SimClock, SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.stats import StreamingRun
+    from repro.storage.table import Table
+
+#: Smallest buffer pool an auto-sized runtime will use.
+MIN_AUTO_BUFFER_PAGES = 64
+
+#: shared_buffers ≈ total heap size / this fraction (auto-sizing).
+AUTO_BUFFER_FRACTION = 8
+
+
+@dataclass
+class CostLedger:
+    """Every simulated cost one query incurred, isolated from the rest.
+
+    The per-query counterpart of the shared runtime's aggregate
+    counters: simulated I/O-wait and CPU milliseconds, the Table-II
+    I/O accounting, and buffer hit/miss counts — attributed through
+    the runtime's attribution windows, so ledgers of interleaved
+    queries never bleed into each other.
+    """
+
+    io_ms: float = 0.0
+    cpu_ms: float = 0.0
+    disk: DiskStats = field(default_factory=DiskStats)
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated time this query spent (I/O wait + CPU)."""
+        return self.io_ms + self.cpu_ms
+
+    def snapshot(self) -> "CostLedger":
+        """An independent copy of the current state."""
+        return CostLedger(
+            io_ms=self.io_ms,
+            cpu_ms=self.cpu_ms,
+            disk=self.disk.snapshot(),
+            buffer_hits=self.buffer_hits,
+            buffer_misses=self.buffer_misses,
+        )
+
+    def add(self, other: "CostLedger") -> None:
+        """Fold ``other``'s charges into this ledger (aggregation)."""
+        self.io_ms += other.io_ms
+        self.cpu_ms += other.cpu_ms
+        self.disk.add(other.disk)
+        self.buffer_hits += other.buffer_hits
+        self.buffer_misses += other.buffer_misses
+
+    def matches(self, other: "CostLedger",
+                rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> bool:
+        """True when both ledgers account the same charges.
+
+        Integer counters must match exactly (``DiskStats`` dataclass
+        equality covers every field, present and future); the
+        millisecond floats are compared with ``math.isclose`` because
+        summing per-query ledgers reorders floating-point additions
+        relative to the shared totals.
+        """
+        return (
+            self.disk == other.disk
+            and self.buffer_hits == other.buffer_hits
+            and self.buffer_misses == other.buffer_misses
+            and math.isclose(self.io_ms, other.io_ms,
+                             rel_tol=rel_tol, abs_tol=abs_tol)
+            and math.isclose(self.cpu_ms, other.cpu_ms,
+                             rel_tol=rel_tol, abs_tol=abs_tol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostLedger(io={self.io_ms / 1000:.3f}s "
+            f"cpu={self.cpu_ms / 1000:.3f}s "
+            f"reads={self.disk.pages_read} "
+            f"buffer={self.buffer_hits}h/{self.buffer_misses}m)"
+        )
+
+
+class EngineRuntime:
+    """The shared physical substrate of one engine instance.
+
+    Owns the pieces every concurrently-executing query contends on —
+    :class:`~repro.storage.disk.SimClock`,
+    :class:`~repro.storage.disk.SimulatedDisk`,
+    :class:`~repro.storage.buffer.BufferPool` and the physical catalog
+    (tables, file-id allocation) — plus the attribution machinery that
+    routes charges into per-query :class:`CostLedger`\\ s and the
+    registry of live streaming runs that guards cold starts.
+    """
+
+    def __init__(self, config: EngineConfig, profile: DiskProfile):
+        self.config = config
+        self.profile = profile
+        self.clock = SimClock()
+        self.disk = SimulatedDisk(
+            profile=profile,
+            clock=self.clock,
+            page_size=config.page_size,
+            extent_pages=config.extent_pages,
+        )
+        self.buffer = BufferPool(
+            disk=self.disk,
+            capacity_pages=config.buffer_pool_pages
+            or MIN_AUTO_BUFFER_PAGES,
+            hit_cpu_ms=config.cpu.buffer_hit,
+        )
+        #: Physical catalog: every table (heap + indexes) of the engine.
+        self.tables: dict[str, "Table"] = {}
+        self._next_file_id = 0
+        self._active: CostLedger | None = None
+        self._window_disk = DiskStats()
+        self._window_hits = 0
+        self._window_misses = 0
+        # Weak refs: a stream nobody can reach anymore (its cursor was
+        # dropped undrained) cannot observe a cache reset, so it stops
+        # guarding cold starts the moment it becomes unreachable.
+        self._live: list[weakref.ref["StreamingRun"]] = []
+
+    # -- physical catalog -------------------------------------------------
+
+    def allocate_file_id(self) -> int:
+        """A fresh engine-unique file id (heaps, index files)."""
+        fid = self._next_file_id
+        self._next_file_id += 1
+        return fid
+
+    def autosize_buffer(self) -> None:
+        """Size an auto buffer pool to 1/8 of total heap pages."""
+        if self.config.buffer_pool_pages is not None:
+            return
+        total = sum(t.num_pages for t in self.tables.values())
+        self.buffer.capacity_pages = max(
+            MIN_AUTO_BUFFER_PAGES, total // AUTO_BUFFER_FRACTION
+        )
+
+    # -- per-query cost attribution ---------------------------------------
+
+    def begin_attribution(self, ledger: CostLedger) -> None:
+        """Open an attribution window: charges now belong to ``ledger``.
+
+        Windows must not nest — concurrent queries interleave at batch
+        boundaries (each pull wrapped in its own window), they do not
+        run inside one another.  Millisecond charges are routed into
+        the ledger as the clock accrues them; the integer disk/buffer
+        counters are snapshotted here and diffed in at
+        :meth:`end_attribution`.
+        """
+        if self._active is not None:
+            raise ExecutionError(
+                "an attribution window is already open; interleave "
+                "queries at batch boundaries instead of nesting them"
+            )
+        self._active = ledger
+        self._window_disk = self.disk.stats.snapshot()
+        self._window_hits = self.buffer.stats.hits
+        self._window_misses = self.buffer.stats.misses
+        self.clock.ledger = ledger
+
+    def end_attribution(self) -> None:
+        """Close the open window, folding counter deltas into its ledger."""
+        ledger = self._active
+        if ledger is None:
+            raise ExecutionError("no attribution window is open")
+        self.clock.ledger = None
+        self._active = None
+        ledger.disk.add(self.disk.stats.diff(self._window_disk))
+        ledger.buffer_hits += self.buffer.stats.hits - self._window_hits
+        ledger.buffer_misses += (self.buffer.stats.misses
+                                 - self._window_misses)
+
+    def totals(self) -> CostLedger:
+        """The shared aggregate counters, as a ledger-shaped snapshot.
+
+        Summing every query's ledger since the last cold start must
+        reproduce this (see :meth:`CostLedger.matches`) — the
+        conservation property the test suite asserts.
+        """
+        return CostLedger(
+            io_ms=self.clock.io_ms,
+            cpu_ms=self.clock.cpu_ms,
+            disk=self.disk.stats.snapshot(),
+            buffer_hits=self.buffer.stats.hits,
+            buffer_misses=self.buffer.stats.misses,
+        )
+
+    # -- live streams and cold-start semantics -----------------------------
+
+    def register_stream(self, run: "StreamingRun") -> None:
+        """Track a streaming run whose plan is live on this runtime."""
+        self._live.append(weakref.ref(run))
+
+    def unregister_stream(self, run: "StreamingRun") -> None:
+        """Forget a drained/closed streaming run (idempotent)."""
+        self._live = [ref for ref in self._live
+                      if ref() is not None and ref() is not run]
+
+    @property
+    def live_streams(self) -> tuple["StreamingRun", ...]:
+        """Reachable streaming runs started but not yet drained/closed."""
+        runs = tuple(run for ref in self._live
+                     if (run := ref()) is not None)
+        self._live = [weakref.ref(run) for run in runs]
+        return runs
+
+    def cold_start(self) -> None:
+        """Reset the whole substrate for a measured cold run.
+
+        THE single owner of cold-run semantics: re-sizes an auto buffer
+        pool, then resets the buffer (contents and stats), the disk
+        (head position and stats) and the clock, reproducing the
+        paper's "we clear database buffer caches as well as OS file
+        system caches before each query execution".
+
+        Raises :class:`~repro.errors.ExecutionError` when any streaming
+        run is still live — resetting caches under a draining cursor
+        would silently corrupt its execution and its measurement.
+        Drain or close live cursors first.
+        """
+        if self._active is not None:
+            raise ExecutionError(
+                "cold start requested inside an attribution window"
+            )
+        live = self.live_streams
+        if live:
+            raise ExecutionError(
+                f"cold start requested while {len(live)} streaming "
+                "run(s) are still live; drain or close them first"
+            )
+        self.autosize_buffer()
+        self.buffer.reset()
+        self.disk.reset()
+        self.clock.reset()

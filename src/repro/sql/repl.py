@@ -13,8 +13,11 @@ measured simulated time and I/O.  Meta commands start with a backslash:
     \\tables            list tables with row/page counts
     \\schema <table>    show a table's columns and indexes
     \\mode <m>          planner mode: original | tuned | smooth
-    \\analyze           refresh statistics (invalidates cached plans)
-                       and print plan-cache hit/miss counters
+    \\analyze           refresh statistics (invalidates cached plans),
+                       print plan-cache counters and the last
+                       statement's per-query cost ledger
+    \\clients <n>       replay the last statement from N interleaved
+                       cursors (deterministic cooperative scheduling)
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 
@@ -40,8 +43,11 @@ _HELP = """
     \\tables            list tables with row/page counts
     \\schema <table>    show a table's columns and indexes
     \\mode <m>          planner mode: original | tuned | smooth
-    \\analyze           refresh statistics (invalidates cached plans)
-                       and print plan-cache hit/miss counters
+    \\analyze           refresh statistics (invalidates cached plans),
+                       print plan-cache counters and the last
+                       statement's per-query cost ledger
+    \\clients <n>       replay the last statement from N interleaved
+                       cursors (deterministic cooperative scheduling)
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 """
@@ -64,6 +70,11 @@ class Repl:
         # ``out`` explicitly to redirect an already-built shell.
         self.out = out if out is not None else sys.stdout
         self.mode = mode
+        # The last successfully *executed* statement (EXPLAINs run
+        # nothing): its result feeds \analyze's per-query ledger and
+        # its text is what \clients replays concurrently.
+        self._last_sql: str | None = None
+        self._last_result = None
 
     # -- top level -----------------------------------------------------------
 
@@ -150,10 +161,69 @@ class Repl:
             # plans are now stale and will re-plan on next use.  Show
             # the cache so the hit/miss/invalidation story is visible.
             self._print(self.db.plan_cache.describe())
+            # The *per-query* ledger of the last statement — what that
+            # one execution was charged, not the engine's global
+            # totals (which fold every query of the session together).
+            if self._last_result is not None:
+                run = self._last_result.run
+                self._print(
+                    f"last query ledger: io={run.io_ms / 1000:.3f}s "
+                    f"cpu={run.cpu_ms / 1000:.3f}s | "
+                    f"{run.disk.pages_read} pages read "
+                    f"({run.disk.seq_pages} seq, {run.disk.rand_pages} "
+                    f"rand), {run.disk.pages_written} written | "
+                    f"buffer {run.buffer_hits} hits / "
+                    f"{run.buffer_misses} misses"
+                )
+        elif name == "clients" and len(parts) == 2:
+            self._clients(parts[1])
         else:
             self._print(f"error: unknown command \\{command} "
                         "(\\help lists commands)")
         return True
+
+    def _clients(self, arg: str) -> None:
+        """The ``\\clients N`` smoke meta: concurrent replay."""
+        from repro.exec.scheduler import CooperativeScheduler
+        try:
+            n = int(arg)
+        except ValueError:
+            self._print("error: \\clients takes a client count")
+            return
+        if not 1 <= n <= 32:
+            self._print("error: client count must be between 1 and 32")
+            return
+        if self._last_sql is None:
+            self._print("error: no statement to replay yet "
+                        "(run a SELECT first)")
+            return
+        # A warm connection: concurrent cursors must not cold-reset the
+        # shared substrate under each other.  One cold start up front
+        # levels the field (the shell's own session has no live runs).
+        conn = self.db.connect(options=self._options(), cold=False)
+        scheduler = CooperativeScheduler(self.db)
+        for i in range(n):
+            scheduler.client(f"c{i + 1}").add_query(
+                "replay", lambda c=conn: c.cursor().execute(self._last_sql))
+        report = scheduler.run(cold=True)
+        for record in report.records:
+            ledger = record.ledger
+            self._print(
+                f"{record.client:>4}  {record.rows:>8} rows  "
+                f"latency {record.latency_ms / 1000:.3f}s  "
+                f"io {ledger.io_ms / 1000:.3f}s  "
+                f"cpu {ledger.cpu_ms / 1000:.3f}s  "
+                f"{ledger.disk.pages_read} pages  "
+                f"{ledger.buffer_hits}h/{ledger.buffer_misses}m"
+            )
+        conserved = report.total_ledger().matches(self.db.runtime.totals())
+        self._print(
+            f"({n} interleaved clients, p50 {report.p50_ms / 1000:.3f}s, "
+            f"p99 {report.p99_ms / 1000:.3f}s, "
+            f"{report.throughput_qps:.1f} queries/s simulated; "
+            f"ledgers sum to runtime totals: "
+            f"{'ok' if conserved else 'VIOLATED'})"
+        )
 
     def _execute(self, text: str) -> None:
         if not text.strip().rstrip(";").strip():
@@ -169,6 +239,8 @@ class Repl:
         if isinstance(result, str):  # EXPLAIN
             self._print(result)
             return
+        self._last_sql = text
+        self._last_result = result
         self._print_table(result)
         self._print(
             f"({result.row_count} row"

@@ -20,6 +20,10 @@ are one request each.  This makes Table II's request counts reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime import CostLedger
 
 
 @dataclass(frozen=True)
@@ -59,10 +63,23 @@ class DiskProfile:
 
 @dataclass
 class SimClock:
-    """Accumulates simulated time, split into I/O wait and CPU work."""
+    """Accumulates simulated time, split into I/O wait and CPU work.
+
+    The clock is *shared*: every query a runtime executes charges into
+    the same totals.  When an attribution window is open (see
+    :class:`~repro.runtime.EngineRuntime`), charges are additionally
+    routed into that window's per-query :class:`~repro.runtime.
+    CostLedger`, which is how interleaved queries keep isolated
+    measurements over one shared clock.
+    """
 
     io_ms: float = 0.0
     cpu_ms: float = 0.0
+    #: The per-query ledger charges are currently attributed to, set by
+    #: ``EngineRuntime.begin_attribution`` / ``end_attribution``.
+    ledger: "CostLedger | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total_ms(self) -> float:
@@ -72,13 +89,23 @@ class SimClock:
     def charge_io(self, ms: float) -> None:
         """Add blocking I/O wait time."""
         self.io_ms += ms
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.io_ms += ms
 
     def charge_cpu(self, ms: float) -> None:
         """Add CPU processing time."""
         self.cpu_ms += ms
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.cpu_ms += ms
 
     def reset(self) -> None:
-        """Zero both counters (start of a measured run)."""
+        """Zero both counters (start of a measured run).
+
+        Attribution state is untouched: resets happen between queries
+        (``EngineRuntime.cold_start`` refuses to run inside a window).
+        """
         self.io_ms = 0.0
         self.cpu_ms = 0.0
 
@@ -132,6 +159,21 @@ class DiskStats:
             pages_written=self.pages_written - before.pages_written,
             bytes_written=self.bytes_written - before.bytes_written,
         )
+
+    def add(self, other: "DiskStats") -> None:
+        """Fold ``other``'s counters into this block (aggregation).
+
+        The one canonical field enumeration alongside :meth:`snapshot`
+        and :meth:`diff` — ledger attribution and aggregation build on
+        these three, so a new counter added here propagates everywhere.
+        """
+        self.requests += other.requests
+        self.pages_read += other.pages_read
+        self.seq_pages += other.seq_pages
+        self.rand_pages += other.rand_pages
+        self.bytes_read += other.bytes_read
+        self.pages_written += other.pages_written
+        self.bytes_written += other.bytes_written
 
 
 @dataclass
@@ -258,7 +300,15 @@ class SimulatedDisk:
         self._file_heads.clear()
 
     def reset(self) -> None:
-        """Clear statistics and head position (clock is reset separately)."""
+        """Clear statistics and head position — and nothing else.
+
+        The clock deliberately stays untouched: it belongs to the
+        shared :class:`~repro.runtime.EngineRuntime`, whose
+        ``cold_start()`` is the one place that resets buffer, disk and
+        clock together (the paper's cold-run discipline).  Call that
+        for cold-run semantics; call this only to zero the disk's own
+        accounting.
+        """
         self.stats.reset()
         self._head = None
         self._file_heads.clear()

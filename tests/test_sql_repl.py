@@ -145,3 +145,41 @@ def test_load_database_micro_defaults():
     database, mode = load_database(args)
     assert mode == "tuned"
     assert database.table("micro").row_count == 1_000
+
+
+def test_analyze_prints_per_query_ledger(db):
+    output = run_session(
+        db,
+        "SELECT count(*) AS n FROM nums WHERE b < 10;\n\\analyze\n",
+    )
+    assert "statistics refreshed" in output
+    assert "last query ledger:" in output
+    assert "pages read" in output and "buffer" in output
+    # Before any statement has run there is no ledger to print.
+    fresh = run_session(db, "\\analyze\n")
+    assert "last query ledger:" not in fresh
+
+
+def test_clients_meta_replays_last_statement_interleaved(db):
+    output = run_session(
+        db,
+        "SELECT count(*) AS n FROM nums WHERE b < 25;\n\\clients 3\n",
+    )
+    assert "3 interleaved clients" in output
+    assert "ledgers sum to runtime totals: ok" in output
+    for client in ("c1", "c2", "c3"):
+        assert client in output
+    # Every client produced the same single aggregate row.
+    assert output.count("1 rows") == 3
+
+
+def test_clients_meta_rejects_bad_input(db):
+    output = run_session(
+        db,
+        "\\clients 2\n"                     # nothing to replay yet
+        "SELECT a FROM nums LIMIT 1;\n"
+        "\\clients zero\n\\clients 0\n",    # not a count / out of range
+    )
+    assert "no statement to replay" in output
+    assert "takes a client count" in output
+    assert "between 1 and 32" in output
