@@ -1,7 +1,7 @@
 """Batch engine guardrail — row vs. batch wall-clock throughput.
 
 The batch-vectorized execution protocol must beat the tuple-at-a-time
-pipeline by at least 2x in tuples/second over the fig5 selectivity sweep
+pipeline by at least 5x in tuples/second over the fig5 selectivity sweep
 (same plans, same simulated costs; only Python overhead differs).
 
 Two artifacts: the committed ``batch_throughput.txt`` carries only the
@@ -23,8 +23,8 @@ def test_batch_throughput_over_row(benchmark, micro_bench_setup, report):
     report("batch_throughput", result.report())
     report("batch_throughput_wallclock", result.wallclock_report())
 
-    # The acceptance bar: >= 2x tuples/sec overall for the batch path.
-    assert result.overall_speedup >= 2.0
+    # The acceptance bar: >= 5x tuples/sec overall for the batch path.
+    assert result.overall_speedup >= 5.0
     # No plan with meaningful runtime may regress under batching.
     # (Sub-10ms plans are dominated by fixed setup and timer noise; the
     # 1.5x slack absorbs scheduler stalls on shared CI runners — real

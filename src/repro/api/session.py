@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.api.result import QueryResult
 from repro.errors import InterfaceError
+from repro.exec.iterator import Chunk
 from repro.exec.stats import StreamingRun, measure
 from repro.optimizer.plan_cache import options_fingerprint
 from repro.optimizer.planner import PlannedQuery, Planner, PlannerOptions
@@ -500,7 +501,10 @@ class Cursor:
         batch = self._run.next_batch()
         if batch is None:
             return False
-        self._buffer.extend(batch)
+        # Rowify here, at the API boundary — batches arrive columnar.
+        self._buffer.extend(
+            batch.to_rows() if isinstance(batch, Chunk) else batch
+        )
         return True
 
     def _maybe_finish(self) -> None:

@@ -26,6 +26,11 @@ from dataclasses import dataclass
 from repro.errors import ExecutionError
 from repro.storage.types import Row, TID
 
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 
 class _Bitmap:
     """A plain bit set over ``[0, size)``."""
@@ -36,6 +41,17 @@ class _Bitmap:
         self.size = size
         self._bits = bytearray((size + 7) // 8)
         self._count = 0
+
+    def array_view(self):
+        """Live ``uint8`` view of the byte array, or None without numpy.
+
+        The backing ``bytearray`` is allocated once and never resized, so
+        the view stays valid and reflects every :meth:`set` as it happens.
+        Callers must treat it as read-only.
+        """
+        if _np is None:
+            return None
+        return _np.frombuffer(self._bits, dtype=_np.uint8)
 
     def get(self, i: int) -> bool:
         return bool(self._bits[i >> 3] & (1 << (i & 7)))
@@ -69,6 +85,16 @@ class PageIdCache:
     def is_seen(self, page_id: int) -> bool:
         """True when the page has already been processed."""
         return self._bitmap.get(page_id)
+
+    def seen_view(self):
+        """Live read-only ``uint8`` view of the bitmap bytes (or None).
+
+        Bit ``page_id`` of the view (little-endian within each byte, as
+        :meth:`is_seen` reads it) tracks the page's seen state, updating
+        in place as pages are marked — letting the batch engine test a
+        whole run of page ids with one vector expression.
+        """
+        return self._bitmap.array_view()
 
     def mark(self, page_id: int) -> bool:
         """Record the page as processed; True if it was new.

@@ -48,13 +48,23 @@ from repro.exec.expressions import (
     KeyRange,
     Predicate,
     TruePredicate,
-    range_filter,
+    range_chunk_filter,
+    range_mask,
     range_selector,
     require_columns,
 )
-from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
+from repro.storage.chunk import mask_and
+from repro.exec.iterator import Batch, Chunk, DEFAULT_BATCH_SIZE, Operator
+from repro.index.btree import TID_SHIFT
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
+
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+_SLOT_MASK = (1 << TID_SHIFT) - 1
 
 _DEFAULT_RESULT_CACHE_PARTITIONS = 16
 
@@ -70,6 +80,7 @@ class _RunState:
     policy: MorphPolicy
     max_region: int
     col_pos: int
+    names: tuple[str, ...]
 
 
 class SmoothScan(Operator):
@@ -171,6 +182,7 @@ class SmoothScan(Operator):
             policy=self.policy,
             max_region=max_region,
             col_pos=col_pos,
+            names=self.schema.column_names,
         )
 
     # -- tuple-at-a-time execution ----------------------------------------
@@ -340,18 +352,27 @@ class SmoothScan(Operator):
             else self.residual.bind_batch(self.schema)
         )
         # With no auxiliary cache consuming TIDs (eager + unordered, the
-        # common case) page probing needs no slot positions — use the
-        # gather-free rows filter instead of selection lists.
+        # common case) page probing needs no slot positions — run fully
+        # columnar: one key-range mask plus one residual mask per page
+        # chunk, narrowing by selection vector without touching a row.
         fast_filter = None
+        fast_mask = None
         if state.tuple_cache is None and state.result_cache is None:
-            qualify_rows = range_filter(self.key_range, col_pos)
+            qualify_chunk = range_chunk_filter(self.key_range, col_pos)
+            qualify_mask = range_mask(self.key_range, col_pos)
             if isinstance(self.residual, TruePredicate):
-                fast_filter = qualify_rows
+                fast_filter = qualify_chunk
+                fast_mask = qualify_mask
             else:
-                residual_rows = self.residual.bind_filter(self.schema)
-                fast_filter = (
-                    lambda rows: residual_rows(qualify_rows(rows))
-                )
+                residual_chunk = self.residual.bind_chunk(self.schema)
+                residual_mask = self.residual.bind_mask(self.schema)
+
+                def fast_filter(chunk, _q=qualify_chunk, _r=residual_chunk):
+                    kept = _q(chunk)
+                    return None if kept is None else _r(kept)
+
+                def fast_mask(chunk, _q=qualify_mask, _r=residual_mask):
+                    return mask_and(_q(chunk), _r(chunk))
 
         region = policy.initial_region()
         mode0_active = not self.trigger.eager
@@ -360,7 +381,18 @@ class SmoothScan(Operator):
         num_pages = heap.num_pages
         is_seen = page_cache.is_seen
 
-        pending: list[Row] = []
+        # In the columnar config ``pending`` accumulates chunk parts (one
+        # per qualifying page run), concatenated at flush; otherwise it
+        # accumulates rows as before.
+        columnar = fast_filter is not None
+        pending: list = []
+
+        def pending_size(parts: list) -> int:
+            return sum(len(c) for c in parts) if columnar else len(parts)
+
+        def as_batch(parts: list) -> Batch:
+            return Chunk.concat(parts) if columnar else parts
+
         # Hot-loop bookkeeping kept in locals: the probe ordinal and the
         # per-batch count of Page-ID-cache probes (charged in bulk per
         # leaf batch).  Invariant: ``stats.probes = probes`` must run
@@ -369,6 +401,110 @@ class SmoothScan(Operator):
         # internals current even under early termination (e.g. Limit).
         probes = 0
         rng = self.key_range
+
+        def probe_region(tid: TID) -> Iterator[Batch]:
+            """Fetch/process the morphing region at ``tid``, yield flushes.
+
+            Shared by the scalar and vectorized probe loops; updates the
+            enclosing execution state (pending output, region size and
+            the selectivity accounting) in place.
+            """
+            nonlocal pending, region, pages_res_global, pages_seen_smooth
+            start = tid.page_id
+            end = min(num_pages, start + region)
+            region_pages = 0
+            run_start: int | None = None
+            for pid in range(start, end):
+                if is_seen(pid):
+                    if run_start is not None:
+                        pending = self._emit_run(
+                            ctx, heap, run_start, pid - run_start,
+                            state, qualify, residual_sel,
+                            fast_filter, fast_mask, tid, pending,
+                        )
+                        if pending_size(pending) >= DEFAULT_BATCH_SIZE:
+                            stats.probes = probes
+                            yield as_batch(pending)
+                            pending = []
+                        region_pages += pid - run_start
+                        run_start = None
+                    continue
+                if run_start is None:
+                    run_start = pid
+            if run_start is not None:
+                pending = self._emit_run(
+                    ctx, heap, run_start, end - run_start,
+                    state, qualify, residual_sel,
+                    fast_filter, fast_mask, tid, pending,
+                )
+                region_pages += end - run_start
+            if pending_size(pending) >= DEFAULT_BATCH_SIZE:
+                stats.probes = probes
+                yield as_batch(pending)
+                pending = []
+
+            region_pages_res = stats.pages_with_results - pages_res_global
+            pages_res_global = stats.pages_with_results
+            pages_seen_smooth += region_pages
+
+            # ---- Policy update (Eqs. (1) and (2)).
+            if region_pages > 0 and pages_seen_smooth > 0:
+                local_sel = region_pages_res / region_pages
+                global_sel = pages_res_global / pages_seen_smooth
+                region = min(
+                    max_region,
+                    max(1, policy.next_region(
+                        region, local_sel, global_sel)),
+                )
+                stats.probes = probes
+                stats.region_trace.append((probes, region))
+                if region > stats.max_region_used:
+                    stats.max_region_used = region
+
+        # ---- Vectorized probe loop: with no auxiliary cache (and hence
+        # no Mode 0 — non-eager triggers always build a Tuple ID cache),
+        # each index entry reduces to one Page-ID-cache check.  Test a
+        # whole leaf of packed codes against a live view of the cache
+        # bitmap and jump straight to the next unseen page, recomputing
+        # the seen mask only after each region fetch flips bits.
+        seen_bits = page_cache.seen_view() if columnar else None
+        if seen_bits is not None:
+            code_batches = self.index.scan_code_batches(
+                ctx, lo=rng.lo, hi=rng.hi,
+                lo_inclusive=rng.lo_inclusive,
+                hi_inclusive=rng.hi_inclusive,
+            )
+        else:
+            code_batches = None
+        if code_batches is not None:
+            for codes in code_batches:
+                n = len(codes)
+                pages = codes >> TID_SHIFT
+                page_checks = 0
+                j = 0
+                while j < n:
+                    sub = pages[j:]
+                    seen = (seen_bits[sub >> 3] >> (sub & 7)) & 1
+                    hits = _np.flatnonzero(seen == 0)
+                    if not hits.size:
+                        probes += n - j
+                        page_checks += n - j
+                        break
+                    k = j + int(hits[0])
+                    probes += k - j + 1
+                    page_checks += k - j + 1
+                    code = int(codes[k])
+                    yield from probe_region(
+                        TID(code >> TID_SHIFT, code & _SLOT_MASK)
+                    )
+                    j = k + 1
+                if page_checks:
+                    ctx.charge_cache_probe(page_checks)
+            stats.probes = probes
+            if pending:
+                yield as_batch(pending)
+            return
+
         for keys, tids in self.index.scan_batches(
             ctx, lo=rng.lo, hi=rng.hi,
             lo_inclusive=rng.lo_inclusive, hi_inclusive=rng.hi_inclusive,
@@ -428,76 +564,30 @@ class SmoothScan(Operator):
 
                 # ---- Fetch and process the morphing region, emitting each
                 # contiguous run of unseen pages as one whole batch.
-                start = tid.page_id
-                end = min(num_pages, start + region)
-                region_pages = 0
-                run_start: int | None = None
-                for pid in range(start, end):
-                    if is_seen(pid):
-                        if run_start is not None:
-                            pending = self._emit_run(
-                                ctx, heap, run_start, pid - run_start,
-                                state, qualify, residual_sel,
-                                fast_filter, tid, pending,
-                            )
-                            if len(pending) >= DEFAULT_BATCH_SIZE:
-                                stats.probes = probes
-                                yield pending
-                                pending = []
-                            region_pages += pid - run_start
-                            run_start = None
-                        continue
-                    if run_start is None:
-                        run_start = pid
-                if run_start is not None:
-                    pending = self._emit_run(
-                        ctx, heap, run_start, end - run_start,
-                        state, qualify, residual_sel,
-                        fast_filter, tid, pending,
-                    )
-                    region_pages += end - run_start
-                if len(pending) >= DEFAULT_BATCH_SIZE:
-                    stats.probes = probes
-                    yield pending
-                    pending = []
-
-                region_pages_res = stats.pages_with_results - pages_res_global
-                pages_res_global = stats.pages_with_results
-                pages_seen_smooth += region_pages
-
-                # ---- Policy update (Eqs. (1) and (2)).
-                if region_pages > 0 and pages_seen_smooth > 0:
-                    local_sel = region_pages_res / region_pages
-                    global_sel = pages_res_global / pages_seen_smooth
-                    region = min(
-                        max_region,
-                        max(1, policy.next_region(
-                            region, local_sel, global_sel)),
-                    )
-                    stats.probes = probes
-                    stats.region_trace.append((probes, region))
-                    if region > stats.max_region_used:
-                        stats.max_region_used = region
+                yield from probe_region(tid)
             if page_checks:
                 ctx.charge_cache_probe(page_checks)
 
         stats.probes = probes
         if pending:
-            yield pending
+            yield as_batch(pending)
 
     def _emit_run(self, ctx: ExecutionContext, heap, run_start: int,
                   run_len: int, state: _RunState, qualify, residual_sel,
-                  fast_filter, probe_tid: TID,
+                  fast_filter, fast_mask, probe_tid: TID,
                   out: list[Row]) -> list[Row]:
-        """Vectorized run probe: append the run's output rows to ``out``.
+        """Vectorized run probe: append the run's output to ``out``.
 
         Fetches one contiguous run of unseen pages, filters each whole
         page through the compiled key-range/residual selectors, and
         appends produced rows (parking the rest in the Result Cache when
         an order must be preserved).  With ``fast_filter`` set (no
-        auxiliary cache consumes TIDs) the gather-free rows filter runs
-        instead of selection lists.  Charges exactly what the row path's
-        ``_process_run`` charges.
+        auxiliary cache consumes TIDs) the page's cached columnar chunk
+        is narrowed by mask instead — ``out`` then accumulates chunk
+        parts, not rows — and multi-page runs evaluate ``fast_mask``
+        once over the heap's cached run chunk, recovering the per-page
+        statistics with one segmented reduction.  Charges exactly what
+        the row path's ``_process_run`` charges.
         """
         stats = state.stats
         page_cache = state.page_cache
@@ -508,18 +598,60 @@ class SmoothScan(Operator):
 
         if fast_filter is not None:
             mark = page_cache.mark
+            names = state.names
+            if fast_mask is not None and _np is not None and run_len > 1:
+                lens = []
+                for page in ctx.get_run(heap, run_start, run_len):
+                    mark(page.page_id)
+                    ctx.charge_cache_insert()
+                    stats.pages_fetched += 1
+                    ctx.charge_inspect(len(page))
+                    lens.append(len(page))
+                merged = heap.run_chunk(run_start, run_len, names)
+                mask = fast_mask(merged)
+                if mask is None:
+                    # Every row in the run qualifies.
+                    stats.pages_with_results += run_len
+                    stats.produced += len(merged)
+                    ctx.charge_emit(len(merged))
+                    out.append(merged)
+                    return out
+                if isinstance(mask, _np.ndarray):
+                    offsets = [0]
+                    for n in lens[:-1]:
+                        offsets.append(offsets[-1] + n)
+                    counts = _np.add.reduceat(
+                        mask.astype(_np.int64), offsets
+                    )
+                    total = int(counts.sum())
+                    if total:
+                        stats.pages_with_results += int((counts > 0).sum())
+                        stats.produced += total
+                        ctx.charge_emit(total)
+                        out.append(merged.filter(mask))
+                    return out
+                # Object-column mask (list): per-page fallback below,
+                # minus the charges already paid for the fetched run.
+                for page in heap.iter_run(run_start, run_len):
+                    matched = fast_filter(page.chunk(names))
+                    if matched is not None:
+                        stats.pages_with_results += 1
+                        stats.produced += len(matched)
+                        ctx.charge_emit(len(matched))
+                        out.append(matched)
+                return out
             for page in ctx.get_run(heap, run_start, run_len):
                 mark(page.page_id)
                 ctx.charge_cache_insert()
                 stats.pages_fetched += 1
-                rows = page.all_rows()
-                ctx.charge_inspect(len(rows))
-                matched = fast_filter(rows)
-                if matched:
+                chunk = page.chunk(names)
+                ctx.charge_inspect(len(chunk))
+                matched = fast_filter(chunk)
+                if matched is not None:
                     stats.pages_with_results += 1
                     stats.produced += len(matched)
                     ctx.charge_emit(len(matched))
-                    out += matched
+                    out.append(matched)
             return out
 
         for page in ctx.get_run(heap, run_start, run_len):

@@ -19,10 +19,11 @@ from repro.exec.expressions import (
     KeyRange,
     Predicate,
     TruePredicate,
-    range_selector,
+    range_mask,
     require_columns,
 )
-from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
+from repro.exec.iterator import Batch, Chunk, DEFAULT_BATCH_SIZE, Operator
+from repro.storage.chunk import mask_and, mask_nonzero
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
 
@@ -113,10 +114,11 @@ class SwitchScan(Operator):
         self.switched = False
         residual_fn = self.residual.bind(self.schema)
         col_pos = self.schema.index_of(self.column)
-        qualify = range_selector(self.key_range, col_pos)
-        residual_sel = (
+        names = self.schema.column_names
+        qualify_mask = range_mask(self.key_range, col_pos)
+        residual_mask = (
             None if isinstance(self.residual, TruePredicate)
-            else self.residual.bind_batch(self.schema)
+            else self.residual.bind_mask(self.schema)
         )
         produced_tids = TupleIdCache(heap.num_pages, heap.tuples_per_page)
         produced = 0
@@ -152,22 +154,35 @@ class SwitchScan(Operator):
             return
 
         # Phase 2: restart as a full scan, skipping already-produced TIDs.
+        # Columnar: one key-range/residual mask per page chunk; only the
+        # produced-TID dedup inspects positions (slot == view position on
+        # a whole-page chunk).
         contains = produced_tids.contains
         extent = ctx.config.extent_pages
         for start in range(0, heap.num_pages, extent):
             n = min(extent, heap.num_pages - start)
-            batch: list[Row] = []
+            parts: list[Chunk] = []
             for page in ctx.get_run(heap, start, n):
                 pid = page.page_id
-                rows = page.all_rows()
-                ctx.charge_inspect(len(rows))
-                sel = qualify(rows)
-                if sel and residual_sel is not None:
-                    sel = residual_sel(rows, sel)
+                chunk = page.chunk(names)
+                ctx.charge_inspect(len(chunk))
+                mask = qualify_mask(chunk)
+                if residual_mask is not None:
+                    mask = mask_and(mask, residual_mask(chunk))
+                if mask is None:
+                    sel = list(range(len(chunk)))
+                else:
+                    sel = mask_nonzero(mask)
+                    if not isinstance(sel, list):
+                        sel = sel.tolist()
                 if not sel:
                     continue
                 ctx.charge_cache_probe(len(sel))
-                batch += [rows[i] for i in sel if not contains(TID(pid, i))]
-            if batch:
+                kept = [i for i in sel if not contains(TID(pid, i))]
+                if kept:
+                    parts.append(chunk if len(kept) == len(chunk)
+                                 else chunk.take(kept))
+            if parts:
+                batch = Chunk.concat(parts)
                 ctx.charge_emit(len(batch))
                 yield batch

@@ -2,14 +2,25 @@
 
 Predicates are small composable objects that *bind* against a schema into a
 plain ``row -> bool`` closure, so per-row evaluation never does name
-lookups.  For batch-vectorized execution they additionally compile via
-:meth:`Predicate.bind_batch` into a *selector*: a function over a list of
-rows (plus an optional candidate selection) returning the list of indices
-of qualifying rows, so one call filters a whole heap page or morphing
-region.  :func:`extract_range` splits a predicate into the key range an
-index can serve plus the residual part that must be re-checked per tuple —
-the contract between the planner and every index-driven access path
-(classical, Sort, Switch and Smooth Scan alike).
+lookups.  For batch execution they compile into three progressively more
+vectorized forms:
+
+* :meth:`Predicate.bind_batch` — a *selector* over a list of rows (plus an
+  optional candidate selection) returning the indices of qualifying rows;
+* :meth:`Predicate.bind_filter` — the gather-free ``rows -> rows`` form,
+  now a single default expressed through ``bind_batch``;
+* :meth:`Predicate.bind_mask` / :meth:`Predicate.bind_chunk` — the
+  columnar forms over a :class:`~repro.storage.chunk.Chunk`: one array
+  comparison produces a boolean mask over a whole heap page, and
+  ``bind_chunk`` narrows the chunk by selection vector without touching a
+  single row tuple.
+
+:func:`extract_range` splits a predicate into the key range an index can
+serve plus the residual part that must be re-checked per tuple — the
+contract between the planner and every index-driven access path
+(classical, Sort, Switch and Smooth Scan alike).  :func:`range_selector`,
+:func:`range_filter` and :func:`range_mask` are the corresponding compiled
+forms of a bare :class:`KeyRange`.
 """
 
 from __future__ import annotations
@@ -18,9 +29,20 @@ import enum
 import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.errors import PlanningError
+from repro.storage.chunk import (
+    Chunk,
+    Mask,
+    mask_and,
+    mask_any,
+    mask_from_bools,
+    mask_isin,
+    mask_not,
+    mask_or,
+    object_mask,
+)
 from repro.storage.types import Row, Schema
 
 RowPredicate = Callable[[Row], bool]
@@ -32,6 +54,19 @@ BatchPredicate = Callable[..., "list[int]"]
 #: ``rows -> qualifying rows`` (order-preserving); the gather-free batch
 #: form used when slot positions are not needed downstream.
 RowsFilter = Callable[[Sequence[Row]], "list[Row]"]
+
+#: ``chunk -> mask | None`` over the chunk's logical rows; ``None`` means
+#: "every row qualifies" (the free all-pass case).
+MaskPredicate = Callable[[Chunk], Optional[Mask]]
+
+#: ``chunk -> chunk | None``: narrow a chunk to qualifying rows via its
+#: selection vector; ``None`` means no row qualified.
+ChunkFilter = Callable[[Chunk], Optional[Chunk]]
+
+
+def _scalar_vectorizable(value: object) -> bool:
+    """True when an array comparison against ``value`` is exact."""
+    return type(value) in (int, float)
 
 
 class CompareOp(enum.Enum):
@@ -86,12 +121,57 @@ class Predicate(ABC):
         """Compile to a ``rows -> qualifying rows`` batch filter.
 
         The gather-free sibling of :meth:`bind_batch` for consumers that
-        do not need slot positions: one pass, no index list.  Leaf
-        predicates specialize this with native chained comparisons, the
-        fastest per-tuple test pure Python offers.
+        do not need slot positions.  This is the *single* default for all
+        predicate classes, expressed through :meth:`bind_batch` so each
+        subclass maintains one vectorized implementation instead of a
+        near-identical select/filter pair; the all-pass case returns the
+        input batch unchanged.
+        """
+        select = self.bind_batch(schema)
+
+        def filter_rows(rows: Sequence[Row]) -> list[Row]:
+            sel = select(rows)
+            if len(sel) == len(rows):
+                return rows if isinstance(rows, list) else list(rows)
+            return [rows[i] for i in sel]
+
+        return filter_rows
+
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        """Compile to a columnar ``chunk -> mask | None`` evaluator.
+
+        The mask covers the chunk's *logical* rows (selection applied);
+        ``None`` means every row qualifies.  The default evaluates
+        :meth:`bind` row-wise over the chunk's row view — exact for any
+        predicate (this is what :class:`NullRejecting` rides, keeping its
+        three-valued-logic semantics byte-for-byte) — while leaf
+        predicates override it with whole-column array comparisons.
         """
         fn = self.bind(schema)
-        return lambda rows: [row for row in rows if fn(row)]
+
+        def mask_of(chunk: Chunk) -> Mask:
+            return mask_from_bools(
+                (fn(row) for row in chunk.to_rows()), len(chunk)
+            )
+
+        return mask_of
+
+    def bind_chunk(self, schema: Schema) -> ChunkFilter:
+        """Compile to a ``chunk -> chunk | None`` columnar filter.
+
+        Narrows by selection vector — qualifying rows are never copied,
+        an all-pass mask returns the input chunk itself, and ``None``
+        signals an empty result (the batch contract forbids yielding it).
+        """
+        mask_of = self.bind_mask(schema)
+
+        def filter_chunk(chunk: Chunk) -> Chunk | None:
+            mask = mask_of(chunk)
+            if mask is None:
+                return chunk
+            return chunk.filter(mask)
+
+        return filter_chunk
 
     @abstractmethod
     def columns(self) -> set[str]:
@@ -116,8 +196,8 @@ class TruePredicate(Predicate):
 
         return select
 
-    def bind_filter(self, schema: Schema) -> RowsFilter:
-        return lambda rows: rows  # type: ignore[return-value]
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        return lambda chunk: None
 
     def columns(self) -> set[str]:
         return set()
@@ -152,22 +232,21 @@ class Comparison(Predicate):
 
         return select
 
-    def bind_filter(self, schema: Schema) -> RowsFilter:
-        # Native comparison bytecode per variant — no callable per tuple.
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
         idx = schema.index_of(self.column)
-        v = self.value
-        op = self.op
-        if op is CompareOp.EQ:
-            return lambda rows: [r for r in rows if r[idx] == v]
-        if op is CompareOp.NE:
-            return lambda rows: [r for r in rows if r[idx] != v]
-        if op is CompareOp.LT:
-            return lambda rows: [r for r in rows if r[idx] < v]
-        if op is CompareOp.LE:
-            return lambda rows: [r for r in rows if r[idx] <= v]
-        if op is CompareOp.GT:
-            return lambda rows: [r for r in rows if r[idx] > v]
-        return lambda rows: [r for r in rows if r[idx] >= v]
+        fn = self.op.fn
+        value = self.value
+        vectorizable = _scalar_vectorizable(value)
+
+        def mask_of(chunk: Chunk) -> Mask:
+            arr = chunk.array(idx) if vectorizable else None
+            if arr is not None:
+                return fn(arr, value)
+            return object_mask(
+                chunk.column_values(idx), lambda v: fn(v, value)
+            )
+
+        return mask_of
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -212,17 +291,23 @@ class Between(Predicate):
 
         return select
 
-    def bind_filter(self, schema: Schema) -> RowsFilter:
-        # Native chained comparisons per inclusivity variant.
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
         idx = schema.index_of(self.column)
         lo, hi = self.lo, self.hi
-        if self.lo_inclusive:
-            if self.hi_inclusive:
-                return lambda rows: [r for r in rows if lo <= r[idx] <= hi]
-            return lambda rows: [r for r in rows if lo <= r[idx] < hi]
-        if self.hi_inclusive:
-            return lambda rows: [r for r in rows if lo < r[idx] <= hi]
-        return lambda rows: [r for r in rows if lo < r[idx] < hi]
+        lo_ok = operator.ge if self.lo_inclusive else operator.gt
+        hi_ok = operator.le if self.hi_inclusive else operator.lt
+        vectorizable = _scalar_vectorizable(lo) and _scalar_vectorizable(hi)
+
+        def mask_of(chunk: Chunk) -> Mask:
+            arr = chunk.array(idx) if vectorizable else None
+            if arr is not None:
+                return lo_ok(arr, lo) & hi_ok(arr, hi)
+            return object_mask(
+                chunk.column_values(idx),
+                lambda v: lo_ok(v, lo) and hi_ok(v, hi),
+            )
+
+        return mask_of
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -259,10 +344,10 @@ class InList(Predicate):
 
         return select
 
-    def bind_filter(self, schema: Schema) -> RowsFilter:
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
         idx = schema.index_of(self.column)
-        values = frozenset(self.values)
-        return lambda rows: [r for r in rows if r[idx] in values]
+        values = tuple(self.values)
+        return lambda chunk: mask_isin(chunk.data_column(idx), values)
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -294,17 +379,18 @@ class And(Predicate):
 
         return select
 
-    def bind_filter(self, schema: Schema) -> RowsFilter:
-        bound = [p.bind_filter(schema) for p in self.parts]
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        bound = [p.bind_mask(schema) for p in self.parts]
 
-        def filter_rows(rows: Sequence[Row]) -> list[Row]:
+        def mask_of(chunk: Chunk) -> Mask | None:
+            mask: Mask | None = None
             for f in bound:
-                rows = f(rows)
-                if not rows:
-                    break
-            return rows if isinstance(rows, list) else list(rows)
+                mask = mask_and(mask, f(chunk))
+                if mask is not None and not mask_any(mask):
+                    return mask
+            return mask
 
-        return filter_rows
+        return mask_of
 
     def columns(self) -> set[str]:
         return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
@@ -341,6 +427,22 @@ class Or(Predicate):
             return matched
 
         return select
+
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        bound = [p.bind_mask(schema) for p in self.parts]
+
+        def mask_of(chunk: Chunk) -> Mask | None:
+            mask: Mask | None = None
+            first = True
+            for f in bound:
+                part = f(chunk)
+                if part is None:
+                    return None
+                mask = part if first else mask_or(mask, part)
+                first = False
+            return mask
+
+        return mask_of
 
     def columns(self) -> set[str]:
         return set().union(*(p.columns() for p in self.parts)) if self.parts else set()
@@ -420,6 +522,10 @@ class Not(Predicate):
 
         return select
 
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        bound = self.part.bind_mask(schema)
+        return lambda chunk: mask_not(bound(chunk), len(chunk))
+
     def columns(self) -> set[str]:
         return self.part.columns()
 
@@ -454,6 +560,17 @@ class StringMatch(Predicate):
         if self.kind == "suffix":
             return lambda row: row[idx].endswith(value)
         return lambda row: value in row[idx]
+
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        idx = schema.index_of(self.column)
+        value = self.value
+        if self.kind == "prefix":
+            test = lambda v: v.startswith(value)  # noqa: E731
+        elif self.kind == "suffix":
+            test = lambda v: v.endswith(value)  # noqa: E731
+        else:
+            test = lambda v: value in v  # noqa: E731
+        return lambda chunk: object_mask(chunk.column_values(idx), test)
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -497,6 +614,24 @@ class ColumnComparison(Predicate):
             return [i for i in sel if fn(rows[i][li], rows[i][ri])]
 
         return select
+
+    def bind_mask(self, schema: Schema) -> MaskPredicate:
+        li = schema.index_of(self.left)
+        ri = schema.index_of(self.right)
+        fn = self.op.fn
+
+        def mask_of(chunk: Chunk) -> Mask:
+            left = chunk.array(li)
+            right = chunk.array(ri)
+            if left is not None and right is not None:
+                return fn(left, right)
+            lvals = chunk.column_values(li)
+            rvals = chunk.column_values(ri)
+            return mask_from_bools(
+                (fn(a, b) for a, b in zip(lvals, rvals)), len(lvals)
+            )
+
+        return mask_of
 
     def columns(self) -> set[str]:
         return {self.left, self.right}
@@ -644,6 +779,54 @@ def range_filter(rng: KeyRange, col_pos: int) -> RowsFilter:
     if rng.hi_inclusive:
         return lambda rows: [r for r in rows if lo < r[col_pos] <= hi]
     return lambda rows: [r for r in rows if lo < r[col_pos] < hi]
+
+
+def range_mask(rng: KeyRange, col_pos: int) -> MaskPredicate:
+    """Compile ``rng`` into a columnar ``chunk -> mask | None`` evaluator.
+
+    The :func:`range_selector` sibling for chunk consumers: one or two
+    whole-column array comparisons per chunk instead of per-tuple bound
+    checks.  ``None`` means every row qualifies (the unbounded range).
+    """
+    lo, hi = rng.lo, rng.hi
+    if lo is None and hi is None:
+        return lambda chunk: None
+    lo_ok = operator.ge if rng.lo_inclusive else operator.gt
+    hi_ok = operator.le if rng.hi_inclusive else operator.lt
+    vectorizable = (
+        (lo is None or _scalar_vectorizable(lo))
+        and (hi is None or _scalar_vectorizable(hi))
+    )
+    contains = rng.contains
+
+    def mask_of(chunk: Chunk) -> Mask:
+        arr = chunk.array(col_pos) if vectorizable else None
+        if arr is not None:
+            if lo is None:
+                return hi_ok(arr, hi)
+            if hi is None:
+                return lo_ok(arr, lo)
+            return lo_ok(arr, lo) & hi_ok(arr, hi)
+        return object_mask(chunk.column_values(col_pos), contains)
+
+    return mask_of
+
+
+def range_chunk_filter(rng: KeyRange, col_pos: int) -> ChunkFilter:
+    """Compile ``rng`` into a ``chunk -> chunk | None`` columnar filter.
+
+    Narrows by selection vector; all-pass returns the input chunk itself
+    and ``None`` signals that no row fell inside the range.
+    """
+    mask_of = range_mask(rng, col_pos)
+
+    def filter_chunk(chunk: Chunk) -> Chunk | None:
+        mask = mask_of(chunk)
+        if mask is None:
+            return chunk
+        return chunk.filter(mask)
+
+    return filter_chunk
 
 
 def _range_of_comparison(cmp: Comparison) -> KeyRange | None:

@@ -1,4 +1,4 @@
-"""Volcano-style physical operators with batch-vectorized execution.
+"""Volcano-style physical operators with columnar batch execution.
 
 Every operator exposes its output :class:`~repro.storage.types.Schema` and
 two execution entry points:
@@ -8,13 +8,15 @@ two execution entry points:
   :class:`~repro.context.ExecutionContext` as it goes.  Generators give
   exactly the pipelined execution model whose preservation is one of
   Smooth Scan's selling points over the blocking Sort Scan.
-* :meth:`Operator.batches` — batch-vectorized execution: yield lists of
-  rows (*batches*).  Operators on the hot path implement this natively —
-  predicates are compiled to selection lists
-  (:meth:`~repro.exec.expressions.Predicate.bind_batch`), simulated costs
-  are charged in bulk, and per-tuple Python overhead (generator resumption,
-  closure calls, TID construction) is amortized over whole heap pages or
-  morphing-region runs.
+* :meth:`Operator.batches` — columnar execution: yield *batches*, which
+  are :class:`~repro.storage.chunk.Chunk` objects (named, array-backed
+  columns plus an optional selection vector).  Operators on the hot path
+  implement this natively — predicates are compiled to boolean masks over
+  whole columns (:meth:`~repro.exec.expressions.Predicate.bind_mask`),
+  filters narrow chunks by selection vector instead of copying rows,
+  simulated costs are charged in bulk, and per-tuple Python overhead
+  (generator resumption, closure calls, scalar boxing) is amortized over
+  whole heap pages or morphing-region runs.
 
 The two protocols are interchangeable: the base class provides a
 row-compat shim both ways, so an operator may implement either one (or
@@ -24,17 +26,24 @@ overrides neither raises ``NotImplementedError``.
 
 Batch contract:
 
-* a batch is a non-empty ``list`` of rows; producers never yield empty
-  batches (consumers may rely on this);
-* concatenating an operator's batches yields exactly its ``rows()``
-  stream, in the same order;
+* a batch is a non-empty :class:`Chunk` (or, for legacy row-native
+  producers, a non-empty ``list`` of rows — both support ``len()``,
+  iteration yielding row tuples, indexing, and slicing); producers never
+  yield empty batches, and the base-class shims enforce this — an empty
+  producer yields *zero* batches, never an empty one;
+* concatenating an operator's batches — i.e. chaining their row views —
+  yields exactly its ``rows()`` stream, in the same order;
+  ``Chunk.to_rows()`` round-trips exactly, including NULLs and CHAR
+  values, and always yields built-in Python scalars;
 * batch sizes are bounded but not fixed — natural producer units (a heap
   page, an extent run, a morphing region) are preferred over re-chunking,
   and the default shim chunks at :data:`DEFAULT_BATCH_SIZE`;
 * every operator charges the same per-tuple simulated costs on both
   protocols, and a single operator run in isolation charges *identical*
-  totals.  In multi-operator plans, however, batching reorders page
-  accesses between subtrees — children are drained in large chunks
+  totals; the columnar representation is invisible to the cost model by
+  construction, because charges key off page/run/tuple counts which the
+  chunk carries.  In multi-operator plans, however, batching reorders
+  page accesses between subtrees — children are drained in large chunks
   instead of row-by-row interleaving — and the simulated disk (head
   position) and buffer pool (LRU locality) legitimately reward that,
   exactly as real hardware rewards vectorized execution.  Cold-run
@@ -46,16 +55,25 @@ from __future__ import annotations
 
 from abc import ABC
 from itertools import islice
-from typing import Iterator
+from typing import Iterator, Union
 
 from repro.context import ExecutionContext
+from repro.storage.chunk import Chunk
 from repro.storage.types import Row, Schema
 
-#: A batch of rows: the unit of vectorized execution.
-Batch = list
+#: A batch: a columnar chunk, or (legacy row-native producers) a row list.
+Batch = Union[Chunk, list]
 
 #: Rows per batch produced by the default ``rows() -> batches()`` shim.
 DEFAULT_BATCH_SIZE = 1024
+
+__all__ = [
+    "Batch",
+    "Chunk",
+    "DEFAULT_BATCH_SIZE",
+    "Operator",
+    "explain",
+]
 
 
 class Operator(ABC):
@@ -76,26 +94,33 @@ class Operator(ABC):
                 "batches()"
             )
         for batch in self.batches(ctx):
+            if not len(batch):
+                raise AssertionError(
+                    f"{type(self).__name__}.batches() yielded an empty "
+                    "batch, violating the batch contract"
+                )
             yield from batch
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Yield output batches (non-empty row lists), charging costs.
+        """Yield output batches (non-empty chunks), charging costs.
 
         The default implementation chunks :meth:`rows` into
-        :data:`DEFAULT_BATCH_SIZE`-row batches; batch-native operators
-        override this with vectorized execution.
+        :data:`DEFAULT_BATCH_SIZE`-row :class:`Chunk` batches (an empty
+        producer yields zero batches); batch-native operators override
+        this with columnar execution.
         """
         if type(self).rows is Operator.rows:
             raise NotImplementedError(
                 f"{type(self).__name__} implements neither rows() nor "
                 "batches()"
             )
+        names = self.schema.column_names
         it = self.rows(ctx)
         while True:
-            batch = list(islice(it, DEFAULT_BATCH_SIZE))
-            if not batch:
+            rows = list(islice(it, DEFAULT_BATCH_SIZE))
+            if not rows:
                 return
-            yield batch
+            yield Chunk.from_rows(names, rows)
 
     def children(self) -> tuple["Operator", ...]:
         """Child operators, for plan display; leaves return ()."""
@@ -107,7 +132,10 @@ class Operator(ABC):
 
     def collect(self, ctx: ExecutionContext) -> list[Row]:
         """Run to completion and materialize all output rows."""
-        return [row for batch in self.batches(ctx) for row in batch]
+        out: list[Row] = []
+        for batch in self.batches(ctx):
+            out.extend(batch.to_rows() if isinstance(batch, Chunk) else batch)
+        return out
 
 
 def explain(op: Operator, depth: int = 0) -> str:

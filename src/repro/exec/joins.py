@@ -15,7 +15,7 @@ from typing import Iterator, Sequence
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
 from repro.exec.expressions import Predicate, TruePredicate
-from repro.exec.iterator import Batch, Operator
+from repro.exec.iterator import Batch, Chunk, Operator
 from repro.storage.table import Table
 from repro.storage.types import Row, Schema
 
@@ -97,45 +97,83 @@ class HashJoin(Operator):
                     yield row
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Probe the hash table one left batch at a time."""
+        """Probe the hash table one left batch at a time.
+
+        Single-key probes against a chunk read the key column once
+        (``column_values``) instead of building a key tuple per row, and
+        semi/anti joins narrow the chunk by selection vector — their
+        output stays columnar with zero row materialization.
+        """
         table = self._build(ctx)
         lpos = self.left_positions
         pad = (None,) * len(self.right.schema)
         join_type = self.join_type
         get = table.get
+        single = len(lpos) == 1
+        lp0 = lpos[0]
         for batch in self.left.batches(ctx):
             ctx.charge_hash(len(batch))
-            out: list[Row] = []
+            is_chunk = isinstance(batch, Chunk)
+            keys = batch.column_values(lp0) if single and is_chunk else None
+            if join_type in ("semi", "anti"):
+                if keys is not None:
+                    if join_type == "semi":
+                        sel = [i for i, k in enumerate(keys) if get((k,))]
+                    else:
+                        sel = [i for i, k in enumerate(keys) if not get((k,))]
+                    if sel:
+                        kept = batch if len(sel) == len(batch) \
+                            else batch.take(sel)
+                        ctx.charge_emit(len(kept))
+                        yield kept
+                    continue
+                if join_type == "semi":
+                    out = [row for row in batch
+                           if get(tuple(row[p] for p in lpos))]
+                else:
+                    out = [row for row in batch
+                           if not get(tuple(row[p] for p in lpos))]
+                if out:
+                    ctx.charge_emit(len(out))
+                    yield out
+                continue
+            out = []
+            if keys is not None:
+                pairs = zip(batch.to_rows(), keys)
+                lookups = ((row, get((k,))) for row, k in pairs)
+            else:
+                lookups = ((row, get(tuple(row[p] for p in lpos)))
+                           for row in batch)
             if join_type == "inner":
-                for row in batch:
-                    matches = get(tuple(row[p] for p in lpos))
+                for row, matches in lookups:
                     if matches:
                         out += [row + match for match in matches]
-            elif join_type == "left":
-                for row in batch:
-                    matches = get(tuple(row[p] for p in lpos))
+            else:  # left
+                for row, matches in lookups:
                     if matches:
                         out += [row + match for match in matches]
                     else:
                         out.append(row + pad)
-            elif join_type == "semi":
-                out = [row for row in batch
-                       if get(tuple(row[p] for p in lpos))]
-            else:  # anti
-                out = [row for row in batch
-                       if not get(tuple(row[p] for p in lpos))]
             if out:
                 ctx.charge_emit(len(out))
-                yield out
+                yield Chunk.from_rows(self.schema.column_names, out)
 
     def _build(self, ctx: ExecutionContext) -> dict[tuple, list[Row]]:
         """Materialize the right child into the join hash table."""
         table: dict[tuple, list[Row]] = {}
         rpos = self.right_positions
+        single = len(rpos) == 1
+        rp0 = rpos[0]
         for batch in self.right.batches(ctx):
             ctx.charge_hash(len(batch))
-            for row in batch:
-                table.setdefault(tuple(row[p] for p in rpos), []).append(row)
+            if single and isinstance(batch, Chunk):
+                for k, row in zip(batch.column_values(rp0), batch.to_rows()):
+                    table.setdefault((k,), []).append(row)
+            else:
+                for row in batch:
+                    table.setdefault(
+                        tuple(row[p] for p in rpos), []
+                    ).append(row)
         return table
 
 

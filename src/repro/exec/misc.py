@@ -1,18 +1,19 @@
 """Small plumbing operators: Filter, Project, MapProject, Limit, Materialize.
 
 Each implements both execution protocols: the classic ``rows()`` pipeline
-and a vectorized ``batches()`` path that consumes child batches whole,
-applying compiled selection lists / list comprehensions per batch.
+and a columnar ``batches()`` path that consumes child chunks whole —
+filters narrow by selection vector, projections share column payloads,
+and row-function maps take an optional vectorized column implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
 from repro.exec.expressions import Predicate, require_columns
-from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
+from repro.exec.iterator import Batch, Chunk, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.types import Column, Row, Schema
 
 
@@ -39,12 +40,18 @@ class Filter(Operator):
                 yield row
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        filter_chunk = self.predicate.bind_chunk(self.schema)
         filter_rows = self.predicate.bind_filter(self.schema)
         for batch in self.child.batches(ctx):
             ctx.charge_inspect(len(batch))
-            kept = filter_rows(batch)
-            if kept:
-                yield kept
+            if isinstance(batch, Chunk):
+                kept = filter_chunk(batch)
+                if kept is not None:
+                    yield kept
+            else:
+                kept_rows = filter_rows(batch)
+                if kept_rows:
+                    yield kept_rows
 
 
 class Project(Operator):
@@ -72,22 +79,31 @@ class Project(Operator):
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         positions = self._positions
+        names = self.schema.column_names
         for batch in self.child.batches(ctx):
-            yield [tuple(row[p] for p in positions) for row in batch]
+            if isinstance(batch, Chunk):
+                yield batch.project(positions, names)
+            else:
+                yield [tuple(row[p] for p in positions) for row in batch]
 
 
 class MapProject(Operator):
     """Compute derived columns with an arbitrary row function.
 
     The caller supplies the output schema explicitly — the executor cannot
-    infer types from a Python callable.
+    infer types from a Python callable.  An optional ``vector``
+    implementation (``chunk -> column payloads``) lets the columnar path
+    compute every output column with whole-array operations; it must be
+    value-equivalent to mapping ``fn`` row-wise.
     """
 
     def __init__(self, child: Operator, out_schema: Schema,
-                 fn: Callable[[Row], Row]):
+                 fn: Callable[[Row], Row],
+                 vector: Optional[Callable[[Chunk], Sequence]] = None):
         self.child = child
         self.schema = out_schema
         self.fn = fn
+        self.vector = vector
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -101,8 +117,17 @@ class MapProject(Operator):
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         fn = self.fn
+        vector = self.vector
+        names = self.schema.column_names
         validate = self.schema.validate_row
         for batch in self.child.batches(ctx):
+            if vector is not None and isinstance(batch, Chunk):
+                columns = vector(batch)
+                if columns is not None:
+                    # Arity is right by construction: one payload per
+                    # output column, all of the chunk's view length.
+                    yield Chunk.from_columns(names, columns)
+                    continue
             out = [fn(row) for row in batch]
             for row in out:
                 validate(row)
@@ -220,6 +245,7 @@ class Materialize(Operator):
         self.child = child
         self.schema = child.schema
         self._cache: list[Row] | None = None
+        self._chunks: list[Chunk] | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -243,10 +269,18 @@ class Materialize(Operator):
             ]
         else:
             ctx.charge_emit(len(self._cache))
-        cache = self._cache
-        for start in range(0, len(cache), DEFAULT_BATCH_SIZE):
-            yield cache[start:start + DEFAULT_BATCH_SIZE]
+        if self._chunks is None:
+            # Transpose once per materialization; replays share the
+            # columnar payloads.
+            names = self.schema.column_names
+            cache = self._cache
+            self._chunks = [
+                Chunk.from_rows(names, cache[start:start + DEFAULT_BATCH_SIZE])
+                for start in range(0, len(cache), DEFAULT_BATCH_SIZE)
+            ]
+        yield from self._chunks
 
     def invalidate(self) -> None:
         """Drop the cache (e.g. between measured runs)."""
         self._cache = None
+        self._chunks = None

@@ -23,9 +23,25 @@ from repro.exec.expressions import (
     TruePredicate,
     require_columns,
 )
-from repro.exec.iterator import Batch, Operator
+from repro.exec.iterator import Batch, Chunk, Operator
+from repro.index.btree import TID_SHIFT
 from repro.storage.table import Table
 from repro.storage.types import Row, TID
+
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _sort_array(codes):
+    """Ascending sort (numpy present by construction at the call site)."""
+    return _np.sort(codes)
+
+
+#: Below this many candidate slots per page (on average, per run), the
+#: bitmap heap scan gathers rows directly instead of slicing columns.
+_SPARSE_SLOTS_PER_PAGE = 16
 
 
 class FullTableScan(Operator):
@@ -54,20 +70,26 @@ class FullTableScan(Operator):
                         yield row
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Vectorized scan: one batch per extent run of heap pages."""
+        """Columnar scan: one chunk per extent run of heap pages.
+
+        The extent's page payloads are concatenated into a single chunk
+        and filtered with one mask evaluation, so predicate work runs on
+        extent-sized arrays instead of page-sized ones.  Charges are
+        identical to :meth:`rows` — inspect per page, emit per
+        qualifying batch.
+        """
         heap = self.table.heap
-        filter_rows = self.predicate.bind_filter(self.schema)
+        names = self.schema.column_names
+        filter_chunk = self.predicate.bind_chunk(self.schema)
         extent = ctx.config.extent_pages
         for start in range(0, heap.num_pages, extent):
             n = min(extent, heap.num_pages - start)
-            batch: list[Row] = []
             for page in ctx.get_run(heap, start, n):
-                rows = page.all_rows()
-                ctx.charge_inspect(len(rows))
-                batch += filter_rows(rows)
-            if batch:
-                ctx.charge_emit(len(batch))
-                yield batch
+                ctx.charge_inspect(len(page))
+            kept = filter_chunk(heap.run_chunk(start, n, names))
+            if kept is not None:
+                ctx.charge_emit(len(kept))
+                yield kept
 
 
 class IndexScan(Operator):
@@ -168,9 +190,78 @@ class SortScan(Operator):
                         yield row
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Vectorized bitmap heap scan: one batch per near-sequential run."""
+        """Columnar bitmap heap scan: one chunk per near-sequential run.
+
+        Phase 1 pulls the range as *packed TID codes* (one int64 per
+        entry) so collecting, sorting and page-grouping the bitmap are
+        all array operations; the code order equals TID tuple order, so
+        emission order — and every charge — matches :meth:`rows`.
+        """
+        codes = self.index.scan_codes(
+            ctx, lo=self.key_range.lo, hi=self.key_range.hi,
+            lo_inclusive=self.key_range.lo_inclusive,
+            hi_inclusive=self.key_range.hi_inclusive,
+        )
+        if codes is None:  # no numpy: charge-identical list-based fallback
+            yield from self._batches_from_tids(ctx)
+            return
+        if not len(codes):
+            return
         heap = self.table.heap
-        filter_rows = self.residual.bind_filter(self.schema)
+        names = self.schema.column_names
+        filter_chunk = self.residual.bind_chunk(self.schema)
+        codes = _sort_array(codes)
+        ctx.charge_compare(_nlogn(len(codes)))
+
+        # Phase 2: group the sorted codes by page with one diff pass.
+        pages_arr = codes >> TID_SHIFT
+        slots_arr = codes & ((1 << TID_SHIFT) - 1)
+        bounds = _np.flatnonzero(pages_arr[1:] != pages_arr[:-1]) + 1
+        starts = _np.concatenate(([0], bounds))
+        ends = _np.concatenate((bounds, [len(codes)]))
+        page_ids = pages_arr[starts].tolist()
+        spans = dict(zip(page_ids, zip(starts.tolist(), ends.tolist())))
+        matches = self.residual.bind(self.schema)
+        for run_start, run_len in _contiguous_runs(page_ids):
+            # Candidates per run: spans are contiguous in code space.
+            total = spans[run_start + run_len - 1][1] - spans[run_start][0]
+            if total < run_len * _SPARSE_SLOTS_PER_PAGE:
+                # Sparse run (few slots per page): gathering whole-page
+                # columns to select a handful of rows costs more than
+                # fetching the rows directly.  Same charges, row batch.
+                out: list[Row] = []
+                for page in ctx.get_run(heap, run_start, run_len):
+                    lo, hi = spans[page.page_id]
+                    ctx.charge_inspect(hi - lo)
+                    get = page.get
+                    for slot in slots_arr[lo:hi].tolist():
+                        row = get(slot)
+                        if matches(row):
+                            out.append(row)
+                if out:
+                    ctx.charge_emit(len(out))
+                    yield out
+                continue
+            parts: list[Chunk] = []
+            for page in ctx.get_run(heap, run_start, run_len):
+                lo, hi = spans[page.page_id]
+                ctx.charge_inspect(hi - lo)
+                chunk = page.chunk(names)
+                if hi - lo != len(chunk):
+                    chunk = chunk.take(slots_arr[lo:hi])  # sel vector
+                kept = filter_chunk(chunk)
+                if kept is not None:
+                    parts.append(kept)
+            if parts:
+                batch = Chunk.concat(parts)
+                ctx.charge_emit(len(batch))
+                yield batch
+
+    def _batches_from_tids(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Batch path without numpy: per-leaf TID lists, Python sort."""
+        heap = self.table.heap
+        names = self.schema.column_names
+        filter_chunk = self.residual.bind_chunk(self.schema)
         rng = self.key_range
 
         # Phase 1: collect qualifying TIDs leaf-batch-wise, sort by page.
@@ -191,17 +282,18 @@ class SortScan(Operator):
             pages.setdefault(tid.page_id, []).append(tid.slot)
         page_ids = sorted(pages)
         for run_start, run_len in _contiguous_runs(page_ids):
-            batch: list[Row] = []
+            parts: list[Chunk] = []
             for page in ctx.get_run(heap, run_start, run_len):
                 slots = pages[page.page_id]
                 ctx.charge_inspect(len(slots))
-                all_rows = page.all_rows()
-                if len(slots) == len(all_rows):
-                    candidates = all_rows  # every slot qualifies the range
-                else:
-                    candidates = [all_rows[slot] for slot in slots]
-                batch += filter_rows(candidates)
-            if batch:
+                chunk = page.chunk(names)
+                if len(slots) != len(chunk):
+                    chunk = chunk.take(slots)  # gather-free: sel vector
+                kept = filter_chunk(chunk)
+                if kept is not None:
+                    parts.append(kept)
+            if parts:
+                batch = Chunk.concat(parts)
                 ctx.charge_emit(len(batch))
                 yield batch
 

@@ -14,8 +14,13 @@ from typing import Iterator, Sequence
 
 from repro.context import ExecutionContext
 from repro.errors import PlanningError
-from repro.exec.iterator import Batch, DEFAULT_BATCH_SIZE, Operator
+from repro.exec.iterator import Batch, Chunk, DEFAULT_BATCH_SIZE, Operator
 from repro.storage.types import Row
+
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 class Sort(Operator):
@@ -47,10 +52,48 @@ class Sort(Operator):
         yield from self._sorted(ctx, list(self.child.rows(ctx)))
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        data = [row for batch in self.child.batches(ctx) for row in batch]
+        batches = list(self.child.batches(ctx))
+        if batches and all(isinstance(b, Chunk) for b in batches):
+            merged = Chunk.concat(batches)
+            perm = self._columnar_perm(merged)
+            if perm is not None:
+                n = len(merged)
+                if n > 1:
+                    ctx.charge_compare(n * max(1, (n - 1).bit_length()))
+                    self._charge_spill(ctx, n)
+                    merged = merged.take(perm)
+                for start in range(0, n, DEFAULT_BATCH_SIZE):
+                    yield merged[start:start + DEFAULT_BATCH_SIZE]
+                return
+        data = [row for batch in batches for row in batch]
         data = self._sorted(ctx, data)
         for start in range(0, len(data), DEFAULT_BATCH_SIZE):
             yield data[start:start + DEFAULT_BATCH_SIZE]
+
+    def _columnar_perm(self, chunk: Chunk):
+        """Stable multi-key sort permutation via successive argsorts.
+
+        Returns ``None`` when ineligible — a descending key, or a key
+        column that is not array-backed — in which case the caller falls
+        back to the row sort.  Successive stable argsort passes applied
+        last-key-first produce exactly the permutation of the equivalent
+        chain of stable ``list.sort`` calls.
+        """
+        if _np is None:
+            return None
+        positions = []
+        for column, ascending in self.keys:
+            if not ascending:
+                return None
+            pos = self.schema.index_of(column)
+            if chunk.array(pos) is None:
+                return None
+            positions.append(pos)
+        perm = _np.arange(len(chunk))
+        for pos in reversed(positions):
+            col = chunk.array(pos)
+            perm = perm[_np.argsort(col[perm], kind="stable")]
+        return perm
 
     def _sorted(self, ctx: ExecutionContext, data: list[Row]) -> list[Row]:
         """Sort the materialized input in place, charging compare + spill."""

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.database import Database
-from repro.exec.iterator import Operator
+from repro.exec.iterator import Batch, Chunk, Operator
 from repro.runtime import CostLedger
 from repro.storage.disk import DiskStats
 from repro.storage.types import Row
@@ -89,7 +89,8 @@ def measure(db: Database, plan: Operator, cold: bool = True,
     batch = run.next_batch()
     while batch is not None:
         if keep_rows:
-            rows += batch
+            # Rowify at the boundary: internal batches stay columnar.
+            rows += batch.to_rows() if isinstance(batch, Chunk) else batch
         batch = run.next_batch()
     return run.result(rows if keep_rows else None)
 
@@ -131,8 +132,9 @@ class StreamingRun:
         self.closed = False
         self._runtime.register_stream(self)
 
-    def next_batch(self) -> list[Row] | None:
-        """The next non-empty batch, or ``None`` once the plan is done."""
+    def next_batch(self) -> Batch | None:
+        """The next non-empty batch (a :class:`Chunk` or row list), or
+        ``None`` once the plan is done."""
         if self.closed or self.exhausted:
             return None
         self._runtime.begin_attribution(self.ledger)

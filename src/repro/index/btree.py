@@ -24,6 +24,16 @@ from repro.errors import BTreeError
 from repro.index import layout
 from repro.storage.types import TID
 
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Bits reserved for the slot in a packed TID code (page << SHIFT | slot).
+#: Heap pages hold far fewer than 2**20 tuples, so the packing is exact
+#: and code order equals ``(page_id, slot)`` tuple order.
+TID_SHIFT = 20
+
 
 class IndexPage:
     """Placeholder object cached by the buffer pool for index pages."""
@@ -50,6 +60,7 @@ class BTreeIndex:
         self.fanout = layout.fanout(page_size, key_size)
         self._keys: list = []
         self._tids: list[TID] = []
+        self._codes = None  # packed int64 TID codes, built lazily
 
     # -- construction -----------------------------------------------------
 
@@ -58,6 +69,7 @@ class BTreeIndex:
         entries = sorted(pairs, key=lambda p: (p[0], p[1]))
         self._keys = [k for k, _ in entries]
         self._tids = [t for _, t in entries]
+        self._codes = None
 
     def insert(self, key: object, tid: TID) -> None:
         """Insert one entry, preserving strict ``(key, TID)`` order."""
@@ -66,6 +78,7 @@ class BTreeIndex:
         pos = lo + bisect_left(self._tids[lo:hi], tid)
         self._keys.insert(pos, key)
         self._tids.insert(pos, tid)
+        self._codes = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -203,6 +216,83 @@ class BTreeIndex:
             pos = leaf_end
             if pos < end:
                 ctx.buffer.get_page(self, pos // fanout, stream_hint=True)
+
+    def scan_codes(self, ctx, lo: object | None = None,
+                   hi: object | None = None,
+                   lo_inclusive: bool = True,
+                   hi_inclusive: bool = False):
+        """Packed TID codes over a key range, or None without numpy.
+
+        Charge-identical to :meth:`scan_batches` — the same descent,
+        leaf-read and per-entry CPU costs — but the result is one int64
+        array view of ``page_id << TID_SHIFT | slot`` codes, which bulk
+        consumers (SortScan's bitmap phase) can sort and group without
+        touching a Python object per entry.
+        """
+        if _np is None:
+            return None
+        start, end = self.range_positions(lo, hi, lo_inclusive, hi_inclusive)
+        if start >= end:
+            if self._keys:
+                # An empty range still pays the descent that discovers it.
+                self._charge_descent(ctx, min(start, len(self._keys) - 1))
+            return _np.empty(0, dtype=_np.int64)
+        self._charge_descent(ctx, start)
+        fanout = self.fanout
+        pos = start
+        while pos < end:
+            leaf_end = min(end, (pos // fanout + 1) * fanout)
+            ctx.charge_index_entry(leaf_end - pos)
+            pos = leaf_end
+            if pos < end:
+                ctx.buffer.get_page(self, pos // fanout, stream_hint=True)
+        return self._code_array()[start:end]
+
+    def scan_code_batches(self, ctx, lo: object | None = None,
+                          hi: object | None = None,
+                          lo_inclusive: bool = True,
+                          hi_inclusive: bool = False):
+        """Iterator of per-leaf packed TID code slices, or None sans numpy.
+
+        The code counterpart of :meth:`scan_batches` for consumers that
+        never look at keys (Smooth Scan's eager unordered path): identical
+        descent, leaf-read and per-entry charges, paid lazily as the
+        consumer advances leaf by leaf.
+        """
+        if _np is None:
+            return None
+        return self._iter_code_batches(ctx, lo, hi, lo_inclusive,
+                                       hi_inclusive)
+
+    def _iter_code_batches(self, ctx, lo, hi, lo_inclusive, hi_inclusive):
+        start, end = self.range_positions(lo, hi, lo_inclusive, hi_inclusive)
+        if start >= end:
+            if self._keys:
+                # An empty range still pays the descent that discovers it.
+                self._charge_descent(ctx, min(start, len(self._keys) - 1))
+            return
+        self._charge_descent(ctx, start)
+        codes = self._code_array()
+        fanout = self.fanout
+        pos = start
+        while pos < end:
+            leaf_end = min(end, (pos // fanout + 1) * fanout)
+            ctx.charge_index_entry(leaf_end - pos)
+            yield codes[pos:leaf_end]
+            pos = leaf_end
+            if pos < end:
+                ctx.buffer.get_page(self, pos // fanout, stream_hint=True)
+
+    def _code_array(self):
+        """The full packed-code array, built lazily and cached."""
+        codes = self._codes
+        if codes is None:
+            codes = _np.fromiter(
+                ((t.page_id << TID_SHIFT) | t.slot for t in self._tids),
+                dtype=_np.int64, count=len(self._tids),
+            )
+            self._codes = codes
+        return codes
 
     def _charge_descent(self, ctx, pos: int) -> None:
         """Charge the root-to-leaf page reads for the entry at ``pos``."""

@@ -59,10 +59,17 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class MapSpec:
-    """A computed projection applied after aggregation (MapProject)."""
+    """A computed projection applied after aggregation (MapProject).
+
+    ``vector``, when present, is the columnar counterpart of ``fn``: it
+    maps a chunk to the full tuple of output columns and must be
+    value-equivalent row-for-row (returning ``None`` at runtime falls
+    back to ``fn``).
+    """
 
     schema: Schema
     fn: Callable[[Row], Row]
+    vector: Callable | None = None
 
 
 @dataclass(frozen=True)

@@ -71,6 +71,91 @@ _FLIPPED = {
 _ARITH = {"+": operator.add, "-": operator.sub,
           "*": operator.mul, "/": operator.truediv}
 
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: int64 -> float64 conversion is exact below this, so numpy's
+#: convert-then-divide matches Python's correctly-rounded int division.
+_SAFE_DIV = 2 ** 53
+_INT64_MAX = 2 ** 63
+
+
+def _abs_bound(v) -> int:
+    """An upper bound on |v| as an exact Python int (arrays or scalars)."""
+    if isinstance(v, _np.ndarray):
+        if not len(v):
+            return 0
+        return max(int(v.max()), -int(v.min()))
+    return abs(v)
+
+
+def _vec_neg(a):
+    """Exact columnar negation; None on fallback."""
+    if a is None:
+        return None
+    if isinstance(a, _np.ndarray) and a.dtype == _np.int64 \
+            and len(a) and int(a.min()) == -_INT64_MAX:
+        return None  # -int64.min would wrap silently
+    return -a
+
+
+def _vec_arith(op: str, a, b):
+    """Columnar ``a op b`` that is bitwise equal to the Python row op.
+
+    Operands are float64/int64 ndarrays or exact Python scalars; returns
+    None whenever numpy semantics could diverge from Python's — int64
+    overflow (Python ints are unbounded), large-int division (Python
+    divides exactly before rounding), or division by zero (Python raises,
+    numpy yields inf) — so the caller can fall back to the row path.
+    """
+    if a is None or b is None:
+        return None
+    a_arr = isinstance(a, _np.ndarray)
+    b_arr = isinstance(b, _np.ndarray)
+    if not a_arr and not b_arr:
+        return _ARITH[op](a, b)  # pure Python: exact by definition
+    a_int = a.dtype == _np.int64 if a_arr else type(a) is int
+    b_int = b.dtype == _np.int64 if b_arr else type(b) is int
+    if a_int and b_int:
+        am, bm = _abs_bound(a), _abs_bound(b)
+        if op == "/":
+            if am >= _SAFE_DIV or bm >= _SAFE_DIV:
+                return None
+        elif op == "*":
+            if am * bm >= _INT64_MAX:
+                return None
+        elif am + bm >= _INT64_MAX:
+            return None
+    if op == "/":
+        if (b_arr and bool((b == 0).any())) or (not b_arr and b == 0):
+            return None  # let the row path raise ZeroDivisionError
+    try:
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        return _np.true_divide(a, b)
+    except OverflowError:  # a Python scalar outside the array dtype
+        return None
+
+
+def _vec_as_array(v, n: int):
+    """Broadcast a scalar vector result to a length-``n`` array."""
+    if v is None or isinstance(v, _np.ndarray):
+        return v
+    if type(v) is int:
+        try:
+            return _np.full(n, v, dtype=_np.int64)
+        except OverflowError:
+            return None
+    if type(v) is float:
+        return _np.full(n, v, dtype=_np.float64)
+    return None
+
 #: Hints the binder understands, with the PlannerOptions field each sets.
 VALID_HINTS = ("force_path", "no_inlj", "no_index", "no_sort_scan", "smooth")
 
@@ -718,15 +803,20 @@ class Binder:
         # At least one computed item: everything goes through one map.
         agg_scope = [("", agg_schema)]
         getters: list[Callable[[Row], object]] = []
+        vec_cols: list = []
         columns: list[Column] = []
         for entry in bound:
             if entry[0] in ("group", "agg"):
                 pos = agg_schema.index_of(entry[1])
                 getters.append(lambda r, _p=pos: r[_p])
+                vec_cols.append(lambda chunk, _p=pos: chunk.data_column(_p))
                 columns.append(agg_schema.columns[pos])
             else:
                 fn, ctype = self._compile_value(entry[2], agg_scope)
                 getters.append(fn)
+                vec_cols.append(
+                    self._compile_vector_array(entry[2], agg_scope)
+                )
                 columns.append(Column(entry[1], ctype))
         if len(getters) == 1:
             only = getters[0]
@@ -734,7 +824,21 @@ class Binder:
         else:
             fns = tuple(getters)
             map_fn = lambda r: tuple(f(r) for f in fns)  # noqa: E731
-        maps = (MapSpec(Schema(columns), map_fn),)
+        map_vec = None
+        if all(v is not None for v in vec_cols):
+            # All-or-nothing: one row-path column would force rowifying
+            # the chunk anyway, losing the point of the columnar map.
+            col_fns = tuple(vec_cols)
+
+            def map_vec(chunk, _fns=col_fns):
+                out = []
+                for f in _fns:
+                    col = f(chunk)
+                    if col is None:
+                        return None
+                    out.append(col)
+                return out
+        maps = (MapSpec(Schema(columns), map_fn, vector=map_vec),)
         return tuple(aggs), (), maps
 
     def _check_dup_output(self, name: str, bound: list[tuple],
@@ -770,7 +874,9 @@ class Binder:
             # Parameters in the argument have no bind-time type; defer
             # the numeric check to bind_params (value arrival).
             self._numeric_params.update(_param_indices(call.arg))
-        return AggSpec(func, alias or f"{func}_{ordinal}", value=fn)
+        vector = self._compile_vector_array(call.arg, visible)
+        return AggSpec(func, alias or f"{func}_{ordinal}", value=fn,
+                       vector=vector)
 
     def _check_agg_input(self, func: str, ctype: ColumnType,
                          call: ast.FuncCall) -> None:
@@ -858,6 +964,60 @@ class Binder:
         if isinstance(expr, ast.FuncCall):
             raise self._error("aggregates cannot be nested here", expr)
         raise self._error("unsupported expression", expr)
+
+    def _compile_vector(self, expr: ast.Expr,
+                        scope: list[tuple[str, Schema]]):
+        """Columnar counterpart of :meth:`_compile_value`.
+
+        Compiles to ``chunk -> ndarray | scalar | None``; returns None at
+        compile time when the expression shape cannot be vectorized
+        (CASE, string literals), while the compiled callable returns None
+        at runtime when a batch cannot be handled exactly (object column,
+        overflow risk, division by zero).  Callers must never use the
+        vector *instead of* checking the row result: it is an exact
+        accelerator or absent, nothing in between.
+        """
+        if _np is None:
+            return None
+        schema = _joined_schema(scope)
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            if type(value) not in (int, float):
+                return None
+            return lambda chunk: value
+        if isinstance(expr, ast.ParamRef):
+            box = self._box
+            index = expr.index
+
+            def from_param(chunk):
+                value = box.values[index]
+                return value if type(value) in (int, float) else None
+            return from_param
+        if isinstance(expr, ast.ColumnRef):
+            name = self._resolve(expr, scope)
+            pos = schema.index_of(name)
+            return lambda chunk: chunk.array(pos)
+        if isinstance(expr, ast.Negate):
+            inner = self._compile_vector(expr.operand, scope)
+            if inner is None:
+                return None
+            return lambda chunk: _vec_neg(inner(chunk))
+        if isinstance(expr, ast.Arith):
+            left = self._compile_vector(expr.left, scope)
+            right = self._compile_vector(expr.right, scope)
+            if left is None or right is None:
+                return None
+            op = expr.op
+            return lambda chunk: _vec_arith(op, left(chunk), right(chunk))
+        return None  # CASE / FuncCall: row path only
+
+    def _compile_vector_array(self, expr: ast.Expr,
+                              scope: list[tuple[str, Schema]]):
+        """Like :meth:`_compile_vector`, but always yields an ndarray."""
+        inner = self._compile_vector(expr, scope)
+        if inner is None:
+            return None
+        return lambda chunk: _vec_as_array(inner(chunk), len(chunk))
 
     # -- ORDER BY -------------------------------------------------------------
 

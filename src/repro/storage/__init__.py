@@ -1,6 +1,7 @@
 """Storage substrate: types, simulated disk, pages, heaps, buffer pool."""
 
 from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.chunk import Chunk
 from repro.storage.disk import DiskProfile, DiskStats, SimClock, SimulatedDisk
 from repro.storage.heap import HeapFile
 from repro.storage.page import HeapPage
@@ -10,6 +11,7 @@ from repro.storage.types import TID, Column, ColumnType, Row, Schema
 __all__ = [
     "BufferPool",
     "BufferStats",
+    "Chunk",
     "Column",
     "ColumnType",
     "DiskProfile",

@@ -12,8 +12,14 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import StorageError, UnknownPageError
+from repro.storage.chunk import Chunk
 from repro.storage.page import HeapPage
 from repro.storage.types import Row, Schema, TID
+
+#: Run-chunk cache bound, in total cached rows, as a multiple of the
+#: heap's row count (distinct scan extents tile the heap once; morphing
+#: regions can overlap — evict wholesale past this).
+_RUN_CHUNK_ROW_FACTOR = 4
 
 
 class HeapFile:
@@ -27,6 +33,9 @@ class HeapFile:
         self.tuples_per_page = tuples_per_page
         self._pages: list[HeapPage] = []
         self._row_count = 0
+        #: Cache of concatenated page chunks keyed by ``(start, n)``.
+        self._run_chunks: dict[tuple[int, int], Chunk] = {}
+        self._run_chunk_rows = 0
 
     @property
     def num_pages(self) -> int:
@@ -48,7 +57,33 @@ class HeapFile:
         page = self._pages[-1]
         slot = page.insert(row)
         self._row_count += 1
+        if self._run_chunks:
+            self._run_chunks.clear()
+            self._run_chunk_rows = 0
         return TID(page.page_id, slot)
+
+    def run_chunk(self, start: int, n: int, names: tuple[str, ...]) -> Chunk:
+        """One chunk spanning pages ``[start, start + n)``, cached.
+
+        Scans fetch the same extents on every execution; concatenating the
+        per-page chunks once and reusing the result removes the dominant
+        per-drain cost of columnar full scans.  Callers still charge I/O
+        and CPU through the execution context — this is pure payload
+        access, like :meth:`page`.
+        """
+        key = (start, n)
+        cached = self._run_chunks.get(key)
+        if cached is not None and cached.names == names:
+            return cached
+        if self._run_chunk_rows > _RUN_CHUNK_ROW_FACTOR * self._row_count:
+            self._run_chunks.clear()
+            self._run_chunk_rows = 0
+        merged = Chunk.concat(
+            [self._pages[i].chunk(names) for i in range(start, start + n)]
+        )
+        self._run_chunks[key] = merged
+        self._run_chunk_rows += len(merged)
+        return merged
 
     def page(self, page_id: int) -> HeapPage:
         """Return page ``page_id`` without charging I/O."""
@@ -65,6 +100,10 @@ class HeapFile:
     def iter_pages(self) -> Iterator[HeapPage]:
         """Yield pages in physical order (full-scan order)."""
         return iter(self._pages)
+
+    def iter_run(self, start: int, n: int) -> Iterator[HeapPage]:
+        """Yield pages ``[start, start + n)`` without charging I/O."""
+        return iter(self._pages[start:start + n])
 
     def iter_rows(self) -> Iterator[tuple[TID, Row]]:
         """Yield ``(TID, row)`` in physical order, charging no I/O."""

@@ -71,6 +71,7 @@ class Schema:
             raise StorageError(f"duplicate column names in schema: {names}")
         self._columns = tuple(columns)
         self._index = {c.name: i for i, c in enumerate(self._columns)}
+        self._names = tuple(c.name for c in self._columns)
 
     @classmethod
     def of_ints(cls, names: Iterable[str]) -> "Schema":
@@ -85,7 +86,7 @@ class Schema:
     @property
     def column_names(self) -> tuple[str, ...]:
         """Column names in declaration order."""
-        return tuple(c.name for c in self._columns)
+        return self._names
 
     def __len__(self) -> int:
         return len(self._columns)

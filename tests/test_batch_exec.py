@@ -305,6 +305,29 @@ def test_scans_batch_equals_rows(small_table):
         assert assert_paths_equal(db, factory)
 
 
+def test_scan_fast_paths_yield_chunks(small_table):
+    """The columnar fast paths hand out Chunk batches, not row lists.
+
+    Full scans always; SortScan on dense runs (its sparse runs gather
+    rows directly by design); SmoothScan whenever no auxiliary cache
+    consumes TIDs (eager trigger, unordered).  This pins the tentpole:
+    batches stay columnar from the heap pages to the operator boundary
+    instead of being rowified in the scan.
+    """
+    from repro.storage.chunk import Chunk
+
+    db, table = small_table
+    dense = KeyRange(0, 1000)  # every tuple qualifies: dense page runs
+    for plan in (
+        FullTableScan(table, Between("c2", 0, 650)),
+        SortScan(table, "c2", dense),
+        SmoothScan(table, "c2", dense),  # eager + unordered
+    ):
+        batches = list(plan.batches(db.cold_run()))
+        assert batches, plan.name()
+        assert all(isinstance(b, Chunk) for b in batches), plan.name()
+
+
 def test_pipeline_batch_equals_rows(small_table):
     db, table = small_table
     def factory():
