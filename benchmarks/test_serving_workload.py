@@ -1,0 +1,70 @@
+"""Serving at scale: 1,000+ protocol clients behind admission control.
+
+The concurrency drill's four scheduler clients become a thousand wire
+clients: every query enters as a protocol frame, is priced against the
+base table's two-full-scans SLA budget, and competes for 64 in-flight
+slots — the overflow waits in the admission FIFO with its queue time
+measured on the simulated clock.  Per-query ledgers are rebuilt from
+protocol ``summary`` frames, so the conservation assertion here proves
+attribution survives the wire at three orders of magnitude more
+interleaving than the concurrency benchmark.
+
+Doubles as the fairness guardrail CI greps for: each series' contended
+p99 must stay within the fair-share bound of its serial p99.
+"""
+
+from conftest import run_once
+
+from repro.experiments.serving import (
+    DEFAULT_SERVING_CLIENTS,
+    REJECT_EVERY,
+    run_serving_workload,
+)
+
+
+def test_serving_workload(benchmark, report):
+    result = run_once(benchmark, run_serving_workload)
+    report("serving_workload", result.report())
+
+    # The ISSUE's headline scale: 1,000+ concurrent protocol clients.
+    assert result.num_clients >= 1_000
+
+    # Every client's probe + follow-up ran except the forced-index
+    # rejections; both schedules of a series return identical rows.
+    rejected_clients = DEFAULT_SERVING_CLIENTS // REJECT_EVERY
+    queries = 2 * DEFAULT_SERVING_CLIENTS - rejected_clients
+    for series in (result.classic, result.smooth):
+        assert len(series.serial.report.records) == queries
+        assert len(series.contended.report.records) == queries
+        assert (series.serial.report.rows
+                == series.contended.report.rows)
+
+    # Conservation through the wire: ledgers rebuilt from protocol
+    # summary frames sum exactly to the shared runtime totals.
+    assert result.conservation_ok
+
+    # Admission rejects on price, never on load: exactly the
+    # forced-index clients, each priced over the SLA budget.
+    assert result.rejections_priced_over_budget
+    assert len(result.all_rejections()) == 4 * rejected_clients
+    assert all(label == "forced-index"
+               for _client, label, detail in result.all_rejections())
+
+    # The drifted classic replays are caught and degraded to the
+    # SLA-bounded Smooth Scan; the smooth series needs no degrading.
+    assert (result.classic.serial.admission.degraded
+            == DEFAULT_SERVING_CLIENTS - rejected_clients)
+    assert result.smooth.serial.admission.degraded == 0
+
+    # Saturation was real: most contended requests had to queue, and
+    # the tail queue wait is visible on the simulated clock.
+    for series in (result.classic, result.smooth):
+        assert series.contended.admission.queued > result.max_inflight
+        assert series.contended.admission.queue_wait_p99_ms > 0.0
+        assert series.serial.admission.queued == 0
+
+    # Fairness under 1,000-client contention: no request's latency
+    # exceeds the whole fleet's worth of fair-share (serial p99)
+    # slices plus its own.
+    assert result.classic.within_fair_share
+    assert result.smooth.within_fair_share

@@ -50,6 +50,7 @@ plan-tree lines (plus a plan-cache status line), like real engines do.
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import TYPE_CHECKING, Iterator, Sequence
 
@@ -113,12 +114,40 @@ class Connection:
         self.options = options
         self.cold = cold
         self._closed = False
+        # Weak refs in creation order: closing the connection closes the
+        # cursors that are still reachable, oldest first; one the
+        # application already dropped needs no cleanup (its run's
+        # charges were attributed as they happened).
+        self._cursors: list[weakref.ref["Cursor"]] = []
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Close the session (idempotent); handles refuse further use."""
+        """Close the session (idempotent); handles refuse further use.
+
+        Live cursors of this connection are closed too, in creation
+        order — any still-streaming run is abandoned mid-flight with its
+        ledger finalized at the rows produced so far, so a serving front
+        dropping a client mid-stream leaks neither live streams (which
+        would block cold starts) nor unattributed charges.
+        """
+        if self._closed:
+            return
         self._closed = True
+        for ref in self._cursors:
+            cursor = ref()
+            if cursor is not None:
+                cursor.close()
+        self._cursors = []
+
+    @property
+    def open_cursors(self) -> tuple["Cursor", ...]:
+        """This connection's reachable, not-yet-closed cursors."""
+        found = tuple(cursor for ref in self._cursors
+                      if (cursor := ref()) is not None
+                      and not cursor._closed)
+        self._cursors = [weakref.ref(cursor) for cursor in found]
+        return found
 
     def commit(self) -> None:
         """No-op: the engine is read-only (PEP-249 compatibility)."""
@@ -281,6 +310,7 @@ class Cursor:
 
     def __init__(self, connection: Connection):
         self.connection = connection
+        connection._cursors.append(weakref.ref(self))
         self.arraysize = DEFAULT_ARRAYSIZE
         self.description: list[tuple] | None = None
         self.rowcount = -1

@@ -22,6 +22,17 @@ def worst_case_total_cost(p: CostParams, card_m0: int) -> float:
     The remaining tuples are handled by Mode 2+ flattening over the whole
     table (Mode 1 is skipped: at 100% selectivity every fetched page is
     dense, so regions expand immediately).
+
+    Monotone in the trigger: every tuple still fetched in Mode 0 costs a
+    random access, so morphing later can only raise the worst case.  On
+    a 100-page table (12,000 64-byte tuples), an eager morph stays under
+    two full scans while waiting 32 tuples does not:
+
+    >>> p = CostParams(tuple_size=64, num_tuples=12_000)
+    >>> round(worst_case_total_cost(p, 0))
+    188
+    >>> round(worst_case_total_cost(p, 32))
+    509
     """
     full = p.at_selectivity(1.0)
     split = formulas.ModeSplit(
@@ -38,6 +49,21 @@ def trigger_cardinality(p: CostParams, sla_cost: float) -> int:
     Returns 0 when even eager Smooth Scan only just fits (morph from the
     first tuple); raises ConfigError when the SLA is unachievable even
     with an immediate morph.
+
+    On the same 100-page table, a two-full-scans SLA leaves barely any
+    slack over the eager worst case of 188, a three-full-scans SLA buys
+    a longer traditional prefix, and one full scan is unachievable:
+
+    >>> p = CostParams(tuple_size=64, num_tuples=12_000)
+    >>> trigger_cardinality(p, sla_bound_for_full_scans(p, 2.0))
+    1
+    >>> trigger_cardinality(p, sla_bound_for_full_scans(p, 3.0))
+    11
+    >>> trigger_cardinality(p, sla_bound_for_full_scans(p, 1.0))
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: SLA bound 100 is below the eager worst \
+case 188; no trigger can satisfy it
     """
     if worst_case_total_cost(p, 0) > sla_cost:
         raise ConfigError(
@@ -57,7 +83,11 @@ def trigger_cardinality(p: CostParams, sla_cost: float) -> int:
 def sla_bound_for_full_scans(p: CostParams, multiple: float = 2.0) -> float:
     """An SLA bound expressed as a multiple of the full-scan cost.
 
-    The paper's Fig. 7b experiment sets the bound to two full scans.
+    The paper's Fig. 7b experiment sets the bound to two full scans:
+
+    >>> p = CostParams(tuple_size=64, num_tuples=12_000)
+    >>> sla_bound_for_full_scans(p)
+    200.0
     """
     if multiple <= 0:
         raise ConfigError("SLA multiple must be positive")

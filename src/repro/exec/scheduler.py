@@ -41,10 +41,11 @@ the uncontended baseline a contended run is compared against.
 
 from __future__ import annotations
 
+import json
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import ExecutionError
 from repro.runtime import CostLedger
@@ -52,6 +53,23 @@ from repro.runtime import CostLedger
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.database import Database
     from repro.exec.stats import StreamingRun
+
+
+def nearest_rank_ms(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile — deterministic, no interpolation.
+
+    The one percentile definition every latency report in the repo
+    uses (workload reports, admission queue waits): sort, take the
+    value at rank ``ceil(pct/100 × n)``, clamped to ``[1, n]``.  An
+    empty sample reports 0.0; a single sample is every percentile of
+    itself.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered),
+                      math.ceil(pct / 100.0 * len(ordered))))
+    return ordered[rank - 1]
 
 
 @dataclass
@@ -93,12 +111,7 @@ class WorkloadReport:
 
     def percentile_ms(self, pct: float) -> float:
         """Nearest-rank percentile of per-query latency (deterministic)."""
-        if not self.records:
-            return 0.0
-        ordered = sorted(self.latencies_ms())
-        rank = max(1, min(len(ordered),
-                          math.ceil(pct / 100.0 * len(ordered))))
-        return ordered[rank - 1]
+        return nearest_rank_ms(self.latencies_ms(), pct)
 
     @property
     def p50_ms(self) -> float:
@@ -135,6 +148,28 @@ class WorkloadReport:
     def for_client(self, name: str) -> list[QueryRecord]:
         """This client's records, in its completion order."""
         return [r for r in self.records if r.client == name]
+
+    def summary_dict(self) -> dict:
+        """The workload-report summary as one flat JSON-ready dict.
+
+        The shared schema (``workload-report/v1``) every bench artifact
+        embeds — the concurrency experiment and the serving harness
+        emit the same keys, so downstream tooling parses one shape.
+        """
+        return {
+            "schema": "workload-report/v1",
+            "queries": len(self.records),
+            "rows": self.rows,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "makespan_ms": self.makespan_ms,
+            "throughput_qps": self.throughput_qps,
+        }
+
+    def to_json(self) -> str:
+        """:meth:`summary_dict` as a deterministic one-line JSON string."""
+        return json.dumps(self.summary_dict(), sort_keys=True)
 
 
 #: Starts one query: returns a StreamingRun, or any object (a Cursor)

@@ -169,6 +169,13 @@ class ConcurrencyResult:
             f"clients: {self.num_clients}, quantum: 1 batch, "
             f"scheduler: round-robin (deterministic, simulated clock)"
         )
+        # The machine-readable rows (workload-report/v1) — the same
+        # schema the serving artifact emits, so downstream tooling can
+        # join the 4-client and 1,000-client runs.
+        for series in (self.classic, self.smooth):
+            for label, rep in (("serial", series.serial),
+                               ("contended", series.contended)):
+                lines.append(f"json {series.name}/{label}: {rep.to_json()}")
         return "\n".join(lines)
 
 

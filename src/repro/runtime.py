@@ -33,6 +33,7 @@ execution, so it raises instead (the guard behind
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import weakref
 from dataclasses import dataclass, field
@@ -93,6 +94,33 @@ class CostLedger:
         self.disk.add(other.disk)
         self.buffer_hits += other.buffer_hits
         self.buffer_misses += other.buffer_misses
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape (wire-protocol ``summary`` frames).
+
+        Integer counters stay integers and the millisecond floats
+        round-trip exactly through JSON, so a ledger shipped over the
+        serving protocol still satisfies :meth:`matches` against the
+        runtime totals — the conservation checks survive the wire.
+        """
+        return {
+            "io_ms": self.io_ms,
+            "cpu_ms": self.cpu_ms,
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "disk": dataclasses.asdict(self.disk),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        return cls(
+            io_ms=data["io_ms"],
+            cpu_ms=data["cpu_ms"],
+            disk=DiskStats(**data["disk"]),
+            buffer_hits=data["buffer_hits"],
+            buffer_misses=data["buffer_misses"],
+        )
 
     def matches(self, other: "CostLedger",
                 rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> bool:

@@ -1,0 +1,7 @@
+"""``python -m repro.server`` — start the asyncio serving front."""
+
+import sys
+
+from repro.server.server import main
+
+sys.exit(main())

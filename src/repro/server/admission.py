@@ -1,0 +1,349 @@
+"""SLA-aware admission control: price first, then admit, degrade or reject.
+
+The paper's promise is a *guarantee*: Smooth Scan bounds the worst-case
+cost of a scan, so an operator can offer an SLA expressed as a multiple
+of the full-scan cost (:func:`repro.costmodel.sla.sla_bound_for_full_scans`)
+and keep it no matter how wrong the statistics are.  This module is
+where that guarantee becomes a live gatekeeping decision instead of an
+offline number: every statement entering the serving front is priced
+with the planner's own estimate — the cost of the plan that *would
+run*, pinned recipe and all — and checked against the base table's SLA
+budget.
+
+Three outcomes:
+
+* **admit** — the estimate fits the budget; run the plan as planned.
+* **degrade** — the plan the optimizer (or the plan cache, replaying a
+  recipe frozen at stale parameter values) wants to run is priced over
+  budget, but a Smooth Scan over the same table is worst-case bounded
+  within it (:func:`repro.costmodel.sla.worst_case_total_cost`); the
+  statement is re-routed to a forced Smooth Scan whose
+  :class:`~repro.core.trigger.SLADrivenTrigger` is derived from the
+  same budget (Section VI-D's trigger, enforced at runtime).
+* **reject** — even the Smooth Scan worst case breaks the budget (or a
+  hint pins a path the controller may not override); the client gets a
+  structured ``rejected`` error carrying the estimate and the budget.
+
+Queueing is the fourth dimension: the controller also owns the
+in-flight slot count, so a serving front can hold admitted statements
+in FIFO order while the engine is saturated.  Queue waits are measured
+on the *simulated* clock and reported as nearest-rank p50/p99 — the
+same percentile the scheduler uses — next to the admitted / degraded /
+rejected counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.core.trigger import SLADrivenTrigger
+from repro.costmodel import formulas, sla
+from repro.costmodel.params import CostParams
+from repro.errors import ConfigError
+from repro.exec.scheduler import nearest_rank_ms
+from repro.optimizer.planner import PlannerOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Connection, PreparedStatement
+    from repro.database import Database
+    from repro.optimizer.planner import PlannedQuery
+
+#: Default SLA budget: two full scans of the statement's base table
+#: (the paper's Fig. 7b bound).
+DEFAULT_SLA_MULTIPLE = 2.0
+
+#: Default cap on concurrently-executing statements.
+DEFAULT_MAX_INFLIGHT = 64
+
+ADMIT = "admit"
+DEGRADE = "degrade"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One priced statement and what the controller ruled.
+
+    ``estimated_cost`` is the planner's estimate (abstract I/O units,
+    the Section V formulas) for the plan that would run — for a plan
+    cache hit that is the *pinned* recipe re-priced at the new
+    parameter values, which is exactly how a drifted cached plan gets
+    caught.  ``budget`` is the base table's SLA bound in the same
+    units.
+    """
+
+    action: str                 # ADMIT | DEGRADE | REJECT
+    table: str
+    estimated_cost: float
+    budget: float
+    reason: str
+
+    @property
+    def admitted(self) -> bool:
+        """True for both plain admits and degrade-to-smooth admits."""
+        return self.action != REJECT
+
+    def to_dict(self) -> dict:
+        """The JSON shape carried by ``executing`` / ``error`` frames."""
+        return {
+            "action": self.action,
+            "table": self.table,
+            "estimated_cost": self.estimated_cost,
+            "budget": self.budget,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class AdmissionStats:
+    """Live counters the serving front exposes via ``stats`` frames."""
+
+    admitted: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    #: Requests that had to wait for an in-flight slot.
+    queued: int = 0
+    #: Queue wait (simulated ms) of every admitted request (0 for
+    #: requests that found a free slot immediately).
+    queue_waits_ms: list[float] = field(default_factory=list)
+    #: Every rejection's (estimated_cost, budget) — the invariant the
+    #: serving benchmark asserts: estimate > budget for all of these.
+    rejections: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def decided(self) -> int:
+        """Total statements priced (admitted + degraded + rejected)."""
+        return self.admitted + self.degraded + self.rejected
+
+    @property
+    def queue_wait_p50_ms(self) -> float:
+        return nearest_rank_ms(self.queue_waits_ms, 50)
+
+    @property
+    def queue_wait_p99_ms(self) -> float:
+        return nearest_rank_ms(self.queue_waits_ms, 99)
+
+    def note_admitted(self, decision: AdmissionDecision,
+                      wait_ms: float, was_queued: bool) -> None:
+        if decision.action == DEGRADE:
+            self.degraded += 1
+        else:
+            self.admitted += 1
+        if was_queued:
+            self.queued += 1
+        self.queue_waits_ms.append(wait_ms)
+
+    def note_rejected(self, decision: AdmissionDecision) -> None:
+        self.rejected += 1
+        self.rejections.append((decision.estimated_cost, decision.budget))
+
+    def to_dict(self) -> dict:
+        """The JSON shape of the ``stats`` frame's ``admission`` field."""
+        return {
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "queued": self.queued,
+            "queue_wait_p50_ms": self.queue_wait_p50_ms,
+            "queue_wait_p99_ms": self.queue_wait_p99_ms,
+        }
+
+
+class AdmissionController:
+    """Prices statements against per-table SLA budgets and rations slots.
+
+    ``sla_multiple`` sets every base table's budget to that multiple of
+    its full-scan cost; ``max_inflight`` caps concurrently-executing
+    statements (the serving front queues the overflow FIFO).  Budgets
+    and degrade options are derived once per table and cached — the
+    degrade options carry one stable
+    :class:`~repro.core.trigger.SLADrivenTrigger` instance per table so
+    degraded executions share a plan-cache entry.
+    """
+
+    def __init__(self, db: "Database",
+                 sla_multiple: float = DEFAULT_SLA_MULTIPLE,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT):
+        if sla_multiple <= 0:
+            raise ConfigError("sla_multiple must be positive")
+        if max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        self.db = db
+        self.sla_multiple = sla_multiple
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.stats = AdmissionStats()
+        self._budgets: dict[str, float] = {}
+        self._degrade_options: dict[str, PlannerOptions | None] = {}
+
+    # -- pricing ------------------------------------------------------------
+
+    def table_params(self, table_name: str) -> CostParams:
+        """Cost-model parameters for one table's SLA math.
+
+        Keyed on the table's first indexed column when one exists (the
+        geometry Smooth Scan's worst case is computed over); an
+        unindexed table falls back to a 4-byte key — its budget only
+        needs the full-scan term, which is key-independent.
+        """
+        table = self.db.table(table_name)
+        indexed = next(iter(table.indexes), None)
+        if indexed is not None:
+            return CostParams.from_table(
+                table, self.db.config, self.db.profile, indexed,
+                selectivity=1.0,
+            )
+        return CostParams(
+            tuple_size=table.schema.tuple_size(self.db.config.tuple_header),
+            num_tuples=table.row_count,
+            page_size=self.db.config.page_size,
+            page_header=self.db.config.page_header,
+            selectivity=1.0,
+            rand_cost=self.db.profile.rand_cost,
+            seq_cost=self.db.profile.seq_cost,
+        )
+
+    def budget_for(self, table_name: str) -> float:
+        """The SLA budget (I/O units) for statements based on this table."""
+        if table_name not in self._budgets:
+            self._budgets[table_name] = sla.sla_bound_for_full_scans(
+                self.table_params(table_name), self.sla_multiple
+            )
+        return self._budgets[table_name]
+
+    def degrade_options_for(self, table_name: str,
+                            base: PlannerOptions | None
+                            ) -> PlannerOptions | None:
+        """Options for a degrade-to-smooth execution, or None when even
+        Smooth Scan's worst case cannot honor the table's budget.
+
+        The forced Smooth Scan carries the SLA-driven trigger computed
+        from the same budget (Eq. (23) via
+        :func:`repro.costmodel.sla.trigger_cardinality`): run
+        traditional up to the trigger cardinality, then morph, so even
+        a 100%-selectivity surprise stays within the bound.
+        """
+        if table_name not in self._degrade_options:
+            options: PlannerOptions | None
+            table = self.db.table(table_name)
+            if not table.indexes:
+                options = None  # Smooth Scan needs an index to anchor on
+            else:
+                try:
+                    trigger_card = sla.trigger_cardinality(
+                        self.table_params(table_name),
+                        self.budget_for(table_name),
+                    )
+                except ConfigError:
+                    options = None  # budget below the eager worst case
+                else:
+                    options = replace(
+                        base or PlannerOptions(),
+                        force_path="smooth",
+                        enable_smooth=True,
+                        smooth_trigger=SLADrivenTrigger(trigger_card),
+                    )
+            self._degrade_options[table_name] = options
+        return self._degrade_options[table_name]
+
+    def _smooth_estimate(self, table_name: str, decision) -> float:
+        """Price one smooth-path plan decision.
+
+        The planner deliberately leaves Smooth Scan decisions uncosted
+        (``estimated_cost = NaN`` — the morphing scan never competes on
+        estimates), but the gatekeeper still needs a number: the
+        Section V smooth formula evaluated at the decision's estimated
+        selectivity, i.e. what this execution is *expected* to cost if
+        the statistics hold.  The worst case is checked separately via
+        the table budget, so a smooth plan whose expectation fits is a
+        plain admit.
+        """
+        table = self.db.table(table_name)
+        column = decision.column or next(iter(table.indexes), None)
+        if column is None:  # no index anchor: smooth covers the heap
+            return formulas.full_scan_cost(self.table_params(table_name))
+        params = CostParams.from_table(
+            table, self.db.config, self.db.profile, column,
+            selectivity=decision.estimated_selectivity,
+        )
+        return formulas.smooth_scan_cost(params)
+
+    def price(self, connection: "Connection",
+              statement: "PreparedStatement",
+              params: object) -> tuple["PlannedQuery", float]:
+        """Plan (through the plan cache) and price one execution.
+
+        The price is the summed estimated cost of every access-path and
+        join decision in the plan that would run — on a cache hit, the
+        pinned recipe re-priced at the *new* parameter binding.  Smooth
+        decisions carry no planner estimate and are priced with the
+        smooth cost model instead (:meth:`_smooth_estimate`).
+        """
+        bound = statement._bound
+        opts = bound.planner_options(connection.options)
+        planned, _outcome = connection._plan(bound, opts, params)
+        cost = 0.0
+        for decision in planned.decisions():
+            estimate = decision.estimated_cost
+            if math.isnan(estimate):
+                estimate = self._smooth_estimate(bound.spec.table, decision)
+            cost += estimate
+        return planned, cost
+
+    def decide(self, connection: "Connection",
+               statement: "PreparedStatement",
+               params: object) -> AdmissionDecision:
+        """Price one execution and rule admit / degrade / reject."""
+        bound = statement._bound
+        table = bound.spec.table
+        _planned, estimate = self.price(connection, statement, params)
+        budget = self.budget_for(table)
+        if estimate <= budget:
+            return AdmissionDecision(
+                action=ADMIT, table=table, estimated_cost=estimate,
+                budget=budget, reason="estimate within SLA budget",
+            )
+        merged = bound.planner_options(connection.options)
+        if merged is not None and merged.force_path is not None:
+            return AdmissionDecision(
+                action=REJECT, table=table, estimated_cost=estimate,
+                budget=budget,
+                reason=(f"estimate exceeds SLA budget and the "
+                        f"force_path({merged.force_path}) hint forbids "
+                        "degrading to a Smooth Scan"),
+            )
+        if self.degrade_options_for(table, connection.options) is not None:
+            return AdmissionDecision(
+                action=DEGRADE, table=table, estimated_cost=estimate,
+                budget=budget,
+                reason=("estimate exceeds SLA budget; degraded to a "
+                        "worst-case-bounded Smooth Scan"),
+            )
+        return AdmissionDecision(
+            action=REJECT, table=table, estimated_cost=estimate,
+            budget=budget,
+            reason=("estimate exceeds SLA budget and no Smooth Scan "
+                    "on this table can bound the worst case within it"),
+        )
+
+    # -- in-flight slots -----------------------------------------------------
+
+    @property
+    def slots_free(self) -> int:
+        """In-flight slots currently available."""
+        return max(0, self.max_inflight - self.inflight)
+
+    def try_acquire(self) -> bool:
+        """Claim one in-flight slot; False when the engine is saturated."""
+        if self.inflight >= self.max_inflight:
+            return False
+        self.inflight += 1
+        return True
+
+    def release(self) -> None:
+        """Return one in-flight slot (statement drained, closed or died)."""
+        if self.inflight <= 0:
+            raise ConfigError("admission slot released but none are held")
+        self.inflight -= 1

@@ -1,0 +1,174 @@
+"""A minimal blocking NDJSON client, plus the CI smoke script.
+
+:class:`SocketClient` is deliberately tiny — a line-buffered socket and
+frame helpers — because the protocol does the work: requests carry ids,
+responses echo them, rows stream until ``done``.  ``python -m
+repro.server.client --port N --expect-reject`` runs the scripted smoke
+the CI job uses against a live server: prepare, execute with
+parameters, fetch to completion, verify an over-budget statement is
+rejected with the priced estimate, and (optionally) shut the server
+down — exiting non-zero on any protocol surprise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+class SocketClient:
+    """One blocking connection to a repro server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421,
+                 timeout_s: float = 30.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout_s)
+        self._file = self.sock.makefile("rb")
+        self._next_id = 0
+        self.hello = self.recv()
+
+    def send(self, frame: dict) -> object:
+        """Send one request frame, stamping a fresh id; returns the id."""
+        frame = dict(frame)
+        frame.setdefault("id", self._next_id)
+        self._next_id += 1
+        self.sock.sendall(protocol.encode_frame(frame))
+        return frame["id"]
+
+    def recv(self) -> dict:
+        """Read one response frame (blocking)."""
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError(protocol.ERR_BAD_FRAME,
+                                "server closed the connection")
+        return protocol.decode_frame(line)
+
+    def roundtrip(self, frame: dict) -> dict:
+        """Send one request and read its single response."""
+        rid = self.send(frame)
+        response = self.recv()
+        if response.get("id") != rid:
+            raise ProtocolError(
+                protocol.ERR_BAD_FRAME,
+                f"response id {response.get('id')!r} does not echo "
+                f"request id {rid!r}"
+            )
+        return response
+
+    def query(self, sql: str, params: object = None) -> tuple[list, dict]:
+        """Run one statement to completion; returns (rows, last frame).
+
+        The last frame is the final ``rows`` frame (carrying the
+        measurement ``summary``) — or the ``error`` frame when the
+        statement was rejected or failed.
+        """
+        rid = self.send({"op": "query", "sql": sql, "params": params})
+        rows: list = []
+        while True:
+            frame = self.recv()
+            if frame.get("id") != rid:
+                continue  # frames of other in-flight requests
+            if frame["op"] == "error":
+                return rows, frame
+            if frame["op"] == "rows":
+                rows.extend(frame["rows"])
+                if frame["done"]:
+                    return rows, frame
+
+    def close(self) -> None:
+        self._file.close()
+        self.sock.close()
+
+
+def _fail(message: str) -> int:
+    print(f"server smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """The scripted smoke run the CI server job drives."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.client",
+        description="Scripted smoke client for a running repro server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--expect-reject", action="store_true",
+                        help="require the full-table statement to be "
+                             "admission-rejected (server started with a "
+                             "sub-full-scan --sla)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to shut down at the end")
+    args = parser.parse_args(argv)
+
+    client = SocketClient(args.host, args.port)
+    if client.hello.get("op") != "hello" \
+            or client.hello.get("protocol") != protocol.PROTOCOL_VERSION:
+        return _fail(f"bad hello frame: {client.hello}")
+
+    # prepare + execute + fetch: the positive round-trip.  The probe is
+    # selective enough that its index plan prices under the budget even
+    # when the server runs a deliberately tight --sla for the rejection
+    # half of this smoke.
+    probe_hi = 25
+    prepared = client.roundtrip(
+        {"op": "prepare", "sql": "SELECT c1, c2 FROM micro WHERE c2 < ?"})
+    if prepared.get("op") != "prepared" or prepared.get("params") != 1:
+        return _fail(f"bad prepared frame: {prepared}")
+    executing = client.roundtrip(
+        {"op": "execute", "statement": prepared["statement"],
+         "params": [probe_hi]})
+    if executing.get("op") != "executing":
+        return _fail(f"selective probe not admitted: {executing}")
+    admission = executing.get("admission") or {}
+    if admission.get("action") != "admit":
+        return _fail(f"expected a plain admit, got: {admission}")
+    rows: list = []
+    while True:
+        frame = client.roundtrip(
+            {"op": "fetch", "cursor": executing["cursor"], "n": 64})
+        if frame.get("op") != "rows":
+            return _fail(f"bad fetch response: {frame}")
+        rows.extend(frame["rows"])
+        if frame["done"]:
+            summary = frame.get("summary") or {}
+            break
+    if not rows or any(row[1] >= probe_hi for row in rows):
+        return _fail(f"probe returned wrong rows ({len(rows)})")
+    if summary.get("rows") != len(rows) or "ledger" not in summary:
+        return _fail(f"bad summary: {summary}")
+
+    # The over-budget statement: a full-table scan.
+    _rows, last = client.query("SELECT * FROM micro")
+    if args.expect_reject:
+        if last.get("op") != "error" or last.get("code") != "rejected":
+            return _fail(f"full scan was not rejected: {last}")
+        detail = last.get("detail") or {}
+        if not detail.get("estimated_cost", 0) > detail.get("budget", 0):
+            return _fail(f"rejection not priced over budget: {detail}")
+    elif last.get("op") == "error":
+        return _fail(f"unexpected error: {last}")
+
+    stats = client.roundtrip({"op": "stats"})
+    admission_stats = stats.get("admission") or {}
+    if admission_stats.get("admitted", 0) < 1:
+        return _fail(f"stats missing admits: {stats}")
+    if args.expect_reject and admission_stats.get("rejected", 0) < 1:
+        return _fail(f"stats missing rejections: {stats}")
+
+    if args.shutdown:
+        ack = client.roundtrip({"op": "shutdown"})
+        if ack.get("op") != "shutting_down":
+            return _fail(f"bad shutdown ack: {ack}")
+    client.close()
+    print(f"server smoke ok: {len(rows)} rows fetched, "
+          f"admission={admission_stats}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke
+    sys.exit(main())

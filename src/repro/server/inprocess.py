@@ -1,0 +1,276 @@
+"""Deterministic in-process transport: the serving benchmark's wire.
+
+The 1,000-client serving experiment must be byte-reproducible, so it
+cannot ride on real sockets or asyncio's ready-callback ordering.  This
+module drives the very same sans-IO
+:class:`~repro.server.session.ServerSession` logic the socket server
+uses, but over dict frames in plain function calls — no JSON, no I/O,
+no event loop — with a round-robin :class:`ServingLoop` standing in for
+the network's interleaving:
+
+* :class:`InProcessChannel` — one client's connection: requests go
+  straight into ``session.handle``; asynchronously-produced frames
+  (admission-queue grants) land in the channel's inbox.
+* :class:`ScriptedClient` — a closed-loop client replaying a script of
+  prepare/execute steps, fetching each started cursor one ``rows``
+  frame per scheduling visit (so concurrent results interleave on the
+  shared disk and buffer pool exactly like the cooperative scheduler's
+  batch quanta).
+* :class:`ServingLoop` — visits clients round-robin until every script
+  is drained, producing the same
+  :class:`~repro.exec.scheduler.WorkloadReport` shape the concurrency
+  experiment emits.  Latency is response time on the shared simulated
+  clock: from the moment a client *submits* an execute (queue wait
+  included) to the moment its final ``rows`` frame arrives.
+
+Each completed query's ledger is rebuilt from the wire ``summary``
+frame (:meth:`~repro.runtime.CostLedger.from_dict`), so the benchmark's
+conservation check — summed per-query ledgers equal the shared runtime
+totals — exercises the protocol encoding, not just the engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.exec.scheduler import QueryRecord, WorkloadReport
+from repro.runtime import CostLedger
+from repro.server.session import ServerFront, ServerSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class InProcessChannel:
+    """One client's connection to a :class:`ServerFront`, sans wire.
+
+    Synchronous responses come back from :meth:`request` directly;
+    frames the server produces later (a parked execute's ``executing``
+    grant) accumulate in :attr:`inbox` until the client polls them.
+    """
+
+    def __init__(self, front: ServerFront):
+        self.inbox: deque[dict] = deque()
+        self.session: ServerSession = front.session(sink=self.inbox.append)
+        self.hello = self.session.hello()
+
+    def request(self, frame: dict) -> list[dict]:
+        """Send one request frame; returns the synchronous responses."""
+        return self.session.handle(frame)
+
+    def poll(self) -> list[dict]:
+        """Take every frame the server pushed since the last poll."""
+        frames = list(self.inbox)
+        self.inbox.clear()
+        return frames
+
+    def close(self) -> None:
+        """Disconnect: closes the session and its live cursors."""
+        self.session.close()
+
+
+#: Client states between scheduling visits.
+_IDLE = "idle"          # ready to send the next script step
+_WAITING = "waiting"    # execute parked in the admission queue
+_FETCHING = "fetching"  # cursor open, pulling one rows frame per visit
+
+
+class ScriptedClient:
+    """A closed-loop protocol client replaying a prepared script.
+
+    Script steps::
+
+        client.prepare("probe", "SELECT * FROM micro WHERE c2 < ?")
+        client.execute("probe", [100], label="probe:100")
+        client.execute("SELECT * FROM micro", label="scan")  # inline SQL
+
+    Each :meth:`step` (one scheduling visit) makes at most one request:
+    processing pushed frames first, then either fetching one ``rows``
+    frame from the open cursor or sending the next script step.
+    Completed queries append :class:`~repro.exec.scheduler.QueryRecord`
+    entries (ledger rebuilt from the wire summary) to the loop's shared
+    record list; ``rejected`` errors are collected — every other error
+    frame raises, because the deterministic harness should never see
+    one.
+    """
+
+    def __init__(self, name: str, loop: "ServingLoop",
+                 channel: InProcessChannel):
+        self.name = name
+        self._loop = loop
+        self._channel = channel
+        self._script: deque[tuple] = deque()
+        self._statements: dict[str, int] = {}
+        self._state = _IDLE
+        self._cursor: int | None = None
+        self._label = ""
+        self._start_ms = 0.0
+        self._next_id = 0
+        #: (label, admission detail) per admission-rejected execute.
+        self.rejections: list[tuple[str, dict]] = []
+
+    # -- scripting -----------------------------------------------------------
+
+    def prepare(self, key: str, sql: str) -> "ScriptedClient":
+        """Queue a ``prepare``; later steps reference it by ``key``."""
+        self._script.append(("prepare", key, sql))
+        return self
+
+    def execute(self, target: str, params: object = None,
+                label: str | None = None) -> "ScriptedClient":
+        """Queue an ``execute`` of a prepared key or inline SQL."""
+        self._script.append(("execute", target, params,
+                             label if label is not None else target))
+        return self
+
+    @property
+    def done(self) -> bool:
+        return not self._script and self._state == _IDLE
+
+    # -- one scheduling visit ------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance by at most one request; False once fully drained."""
+        for frame in self._channel.poll():
+            self._process(frame)
+        if self._state == _FETCHING:
+            self._request({"op": "fetch", "cursor": self._cursor})
+            return True
+        if self._state == _WAITING:
+            return True  # parked in the admission queue; no progress
+        if not self._script:
+            return False
+        action = self._script.popleft()
+        if action[0] == "prepare":
+            _kind, key, sql = action
+            self._pending_key = key
+            self._request({"op": "prepare", "sql": sql})
+        else:
+            _kind, target, params, label = action
+            self._label = label
+            self._start_ms = self._loop.front.clock_ms
+            frame = {"op": "execute", "params": params}
+            if target in self._statements:
+                frame["statement"] = self._statements[target]
+            else:
+                frame["sql"] = target
+            self._state = _WAITING  # parked unless a response says else
+            self._request(frame)
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _request(self, frame: dict) -> None:
+        frame["id"] = self._next_id
+        self._next_id += 1
+        self._loop.activity += 1
+        for response in self._channel.request(frame):
+            self._process(response)
+
+    def _process(self, frame: dict) -> None:
+        self._loop.activity += 1
+        op = frame["op"]
+        if op == "prepared":
+            self._statements[self._pending_key] = frame["statement"]
+        elif op == "executing":
+            self._cursor = frame["cursor"]
+            self._state = _FETCHING
+        elif op == "rows":
+            if frame["done"]:
+                summary = frame["summary"]
+                self._loop.records.append(QueryRecord(
+                    client=self.name,
+                    label=self._label,
+                    rows=summary["rows"],
+                    start_ms=self._start_ms,
+                    finish_ms=self._loop.front.clock_ms,
+                    ledger=CostLedger.from_dict(summary["ledger"]),
+                ))
+                self._cursor = None
+                self._state = _IDLE
+        elif op == "error":
+            if frame["code"] != "rejected":
+                raise ExecutionError(
+                    f"client {self.name!r}: unexpected protocol error "
+                    f"{frame['code']}: {frame['message']}"
+                )
+            self.rejections.append((self._label, frame.get("detail", {})))
+            self._state = _IDLE
+        else:  # pragma: no cover - no other frames reach clients here
+            raise ExecutionError(
+                f"client {self.name!r}: unexpected frame op {op!r}"
+            )
+
+
+class ServingLoop:
+    """Round-robin driver of N scripted clients on one serving front.
+
+    The in-process stand-in for the network: each round visits every
+    live client once (admission order), letting it make one request.
+    Concurrency is bounded by the front's admission controller — the
+    loop itself imposes no limit, so with 1,000 clients and 64 slots
+    the FIFO queue and its measured waits are genuinely exercised.
+    """
+
+    def __init__(self, front: ServerFront):
+        self.front = front
+        self._clients: list[ScriptedClient] = []
+        #: Completion-ordered records across every client (shared).
+        self.records: list[QueryRecord] = []
+        #: Bumped on every request/response; stagnation of a full round
+        #: with live clients means deadlock, which raises.
+        self.activity = 0
+
+    def client(self, name: str) -> ScriptedClient:
+        """Connect one scripted client (round-robin in creation order)."""
+        client = ScriptedClient(name, self, InProcessChannel(self.front))
+        self._clients.append(client)
+        return client
+
+    def run(self, cold: bool = False,
+            interleave: bool = True) -> WorkloadReport:
+        """Drain every client's script; returns the workload report.
+
+        ``cold=True`` cold-starts the shared substrate first (sessions
+        stay open — their connections hold no cached pages).
+        ``interleave=False`` runs clients to completion one at a time:
+        the serial baseline for fair-share comparisons.
+        """
+        if cold:
+            self.front.db.runtime.cold_start()
+        self.records.clear()
+        started_ms = self.front.clock_ms
+        if interleave:
+            live = list(self._clients)
+            while live:
+                before = self.activity
+                live = [client for client in live if client.step()]
+                if live and self.activity == before:
+                    raise ExecutionError(
+                        f"serving loop stalled with {len(live)} live "
+                        "client(s) and no admission progress"
+                    )
+        else:
+            for client in self._clients:
+                while client.step():
+                    pass
+        return WorkloadReport(
+            records=list(self.records),
+            started_ms=started_ms,
+            finished_ms=self.front.clock_ms,
+        )
+
+    def rejections(self) -> list[tuple[str, str, dict]]:
+        """Every admission rejection: (client, label, decision detail)."""
+        return [
+            (client.name, label, detail)
+            for client in self._clients
+            for label, detail in client.rejections
+        ]
+
+    def close(self) -> None:
+        """Disconnect every client (closing sessions and cursors)."""
+        for client in self._clients:
+            client._channel.close()

@@ -335,3 +335,81 @@ def test_database_sql_explicit_catalog_bypasses_cache(micro_db):
                               keep_rows=False, catalog=stale)
     assert result.row_count > 0
     assert len(micro_db.plan_cache) == entries0  # nothing cached
+
+
+# -- connection lifecycle: cursors close with the session ---------------------
+
+def _fresh_db(num_tuples=12_000):
+    db = Database()
+    build_micro_table(db, num_tuples=num_tuples, seed=11)
+    db.analyze()
+    return db
+
+
+def test_cursor_context_manager_closes(conn):
+    with conn.cursor() as cur:
+        cur.execute("SELECT c1 FROM micro WHERE c2 < 200")
+        assert cur.fetchone() is not None
+    with pytest.raises(InterfaceError, match="cursor is closed"):
+        cur.fetchall()
+
+
+def test_connection_close_closes_live_streaming_cursors():
+    db = _fresh_db()
+    session = db.connect(cold=False)
+    first = session.execute("SELECT * FROM micro WHERE c2 < 50000")
+    second = session.execute("SELECT * FROM micro WHERE c2 >= 50000")
+    first.fetchmany(100)
+    assert len(session.open_cursors) == 2
+    session.close()
+    # Both runs were abandoned mid-stream, not leaked: the engine
+    # accepts a cold start again (which refuses while streams live).
+    assert first.stream.closed and second.stream.closed
+    assert not first.stream.exhausted
+    db.cold_run()
+    with pytest.raises(InterfaceError, match="cursor is closed"):
+        first.fetchall()
+
+
+def test_connection_close_finalizes_ledgers_exactly():
+    from repro.runtime import CostLedger
+
+    db = _fresh_db()
+    session = db.connect(cold=False)
+    cursors = [session.execute("SELECT * FROM micro WHERE c2 < 50000"),
+               session.execute("SELECT * FROM micro WHERE c2 >= 50000")]
+    for cur in cursors:
+        cur.fetchmany(100)
+    ledgers = [cur.stream.ledger for cur in cursors]
+    session.close()
+    # Even for half-drained streams, every charge the session caused
+    # is attributed to exactly one cursor ledger: their sum reproduces
+    # the runtime totals (exact integer counters, 1e-9 ms).
+    summed = CostLedger()
+    for ledger in ledgers:
+        summed.add(ledger)
+    assert summed.matches(db.runtime.totals())
+
+
+def test_open_cursors_prunes_closed_and_dropped_handles():
+    import gc
+
+    db = _fresh_db()
+    session = db.connect(cold=False)
+    keep = session.cursor()
+    done = session.cursor()
+    session.cursor()  # dropped without ever being closed
+    gc.collect()
+    done.close()
+    assert session.open_cursors == (keep,)
+    session.close()
+    assert session.open_cursors == ()
+
+
+def test_connection_close_is_idempotent_with_cursors():
+    db = _fresh_db()
+    session = db.connect(cold=False)
+    cur = session.execute("SELECT c1 FROM micro WHERE c2 < 1000")
+    session.close()
+    session.close()  # second close is a no-op, not an error
+    assert cur.stream.closed

@@ -1,0 +1,104 @@
+"""The SLA machinery (Sections III-C and VI-D) in isolation.
+
+These pin the *contract* the serving front's admission controller
+builds on: budgets scale linearly with the full-scan cost, the
+worst-case total is monotone in the trigger cardinality, and
+``trigger_cardinality`` returns the exact fence post — the largest
+Mode-0 prefix whose 100%-selectivity surprise still fits the bound.
+"""
+
+import doctest
+
+import pytest
+
+from repro.costmodel import sla
+from repro.costmodel.formulas import full_scan_cost
+from repro.costmodel.params import CostParams
+from repro.costmodel.sla import (
+    sla_bound_for_full_scans,
+    trigger_cardinality,
+    worst_case_total_cost,
+)
+from repro.errors import ConfigError
+
+#: The paper's micro-benchmark geometry (400M 64-byte tuples).
+PAPER = CostParams(tuple_size=64, num_tuples=400_000_000, key_size=4)
+
+#: The serving experiment's geometry: 100 pages, 12,000 tuples.
+SMALL = CostParams(tuple_size=64, num_tuples=12_000)
+
+
+def test_docstring_examples():
+    results = doctest.testmod(sla)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_bound_is_linear_in_multiple():
+    full = full_scan_cost(SMALL.at_selectivity(1.0))
+    assert sla_bound_for_full_scans(SMALL, 1.0) == full
+    assert sla_bound_for_full_scans(SMALL, 2.5) == 2.5 * full
+    # The paper's default: two full scans.
+    assert sla_bound_for_full_scans(SMALL) == 2.0 * full
+
+
+def test_bound_rejects_non_positive_multiple():
+    with pytest.raises(ConfigError):
+        sla_bound_for_full_scans(SMALL, 0.0)
+    with pytest.raises(ConfigError):
+        sla_bound_for_full_scans(SMALL, -1.0)
+
+
+def test_worst_case_monotone_in_trigger():
+    # Every extra Mode-0 tuple is an extra random access in the
+    # 100%-selectivity worst case, so later morphs only cost more.
+    costs = [worst_case_total_cost(SMALL, card)
+             for card in (0, 1, 10, 100, 1_000)]
+    assert costs == sorted(costs)
+    assert costs[0] < costs[-1]
+
+
+def test_worst_case_eager_is_bounded_by_two_full_scans():
+    # The morphing guarantee the admission controller leans on: an
+    # eager morph on this geometry fits inside two full scans.
+    full = full_scan_cost(SMALL.at_selectivity(1.0))
+    assert worst_case_total_cost(SMALL, 0) < 2.0 * full
+
+
+def test_trigger_is_the_exact_fence_post():
+    bound = sla_bound_for_full_scans(SMALL, 2.0)
+    card = trigger_cardinality(SMALL, bound)
+    assert worst_case_total_cost(SMALL, card) <= bound
+    assert worst_case_total_cost(SMALL, card + 1) > bound
+
+
+def test_trigger_zero_when_eager_just_fits():
+    # A bound right at the eager worst case admits only an immediate
+    # morph: the largest safe Mode-0 prefix is empty.
+    eager = worst_case_total_cost(SMALL, 0)
+    assert trigger_cardinality(SMALL, eager) == 0
+
+
+def test_trigger_unachievable_raises():
+    eager = worst_case_total_cost(SMALL, 0)
+    with pytest.raises(ConfigError, match="eager worst case"):
+        trigger_cardinality(SMALL, eager - 1.0)
+
+
+def test_trigger_saturates_at_table_size():
+    # A bound beyond the all-Mode-0 worst case cannot ask for more
+    # than the table holds.
+    everything = worst_case_total_cost(SMALL, SMALL.num_tuples)
+    assert trigger_cardinality(SMALL, everything * 2) == SMALL.num_tuples
+
+
+def test_paper_scale_trigger_is_tiny_fraction_of_table():
+    # Section VI-D's shape at the 400M-tuple micro-benchmark scale: a
+    # two-full-scans SLA pins the traditional prefix to a tiny slice
+    # of the table (the paper reports 32K tuples on its hardware; this
+    # model's HDD constants give ~310K — still under 0.1% selectivity,
+    # vs the 4M tuples that 1% would be).
+    bound = sla_bound_for_full_scans(PAPER, 2.0)
+    card = trigger_cardinality(PAPER, bound)
+    assert card < 0.001 * PAPER.num_tuples
+    assert worst_case_total_cost(PAPER, card) <= bound

@@ -1,0 +1,77 @@
+"""Property test pinning the scheduler's nearest-rank percentile.
+
+``nearest_rank_ms`` feeds every latency number this repo reports —
+workload p50/p99, admission queue waits — so its definition is pinned
+against an independent naive implementation: sort the sample, take the
+element at rank ``ceil(p/100 * n)`` (1-based), with an empty sample
+reporting 0.  Nearest-rank (unlike interpolating estimators) always
+returns an observed value, which keeps simulated-clock reports exact.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.exec.scheduler import nearest_rank_ms
+
+#: Simulated latencies: non-negative, finite, spanning many magnitudes.
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=200,
+)
+
+percentiles = st.floats(min_value=0.001, max_value=100.0,
+                        allow_nan=False)
+
+
+def naive_nearest_rank(values, pct):
+    """The textbook definition, written independently of the real one."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    rank = min(max(rank, 1), len(ordered))
+    return ordered[rank - 1]
+
+
+@given(latencies, percentiles)
+def test_matches_naive_sorted_list_implementation(values, pct):
+    assert nearest_rank_ms(values, pct) == naive_nearest_rank(values, pct)
+
+
+@given(latencies, percentiles)
+def test_result_is_an_observed_sample(values, pct):
+    # Nearest-rank never interpolates: the reported latency is one a
+    # query actually saw (or 0 when nothing ran).
+    result = nearest_rank_ms(values, pct)
+    assert result in values or (not values and result == 0.0)
+
+
+@given(latencies)
+def test_p50_below_p99_below_max(values):
+    p50 = nearest_rank_ms(values, 50)
+    p99 = nearest_rank_ms(values, 99)
+    assert p50 <= p99
+    if values:
+        assert p99 <= max(values)
+
+
+@given(percentiles)
+def test_empty_sample_reports_zero(pct):
+    assert nearest_rank_ms([], pct) == 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+       percentiles)
+def test_single_sample_is_every_percentile(value, pct):
+    assert nearest_rank_ms([value], pct) == value
+
+
+def test_two_samples_split_at_the_median():
+    # The 1-based ceil rank: anything at or below p50 reports the
+    # smaller sample, anything above reports the larger one.
+    assert nearest_rank_ms([3.0, 7.0], 50) == 3.0
+    assert nearest_rank_ms([7.0, 3.0], 50.1) == 7.0
+    assert nearest_rank_ms([3.0, 7.0], 99) == 7.0
+    assert nearest_rank_ms([3.0, 7.0], 1) == 3.0

@@ -1,0 +1,173 @@
+"""SLA-aware admission: price with the planner, admit/degrade/reject."""
+
+import math
+
+import pytest
+
+from repro.core.trigger import SLADrivenTrigger
+from repro.costmodel.formulas import full_scan_cost
+from repro.database import Database
+from repro.errors import ConfigError
+from repro.experiments.concurrency import CLASSIC_OPTIONS, SMOOTH_OPTIONS
+from repro.server.admission import (
+    ADMIT,
+    DEGRADE,
+    REJECT,
+    AdmissionController,
+    AdmissionStats,
+)
+from repro.storage.types import Column, ColumnType, Schema
+from repro.workloads.micro import build_micro_table
+
+#: 100 pages; the scale where index wins at the seed selectivity and
+#: the eager smooth worst case fits inside two full scans.
+NUM_TUPLES = 12_000
+
+SQL = "SELECT * FROM micro WHERE c2 >= :lo AND c2 < :hi"
+
+
+@pytest.fixture(scope="module")
+def micro_db():
+    db = Database()
+    build_micro_table(db, num_tuples=NUM_TUPLES, seed=7)
+    db.analyze()
+    return db
+
+
+def seeded(db, options):
+    """A connection whose plan cache holds the 0.05%-selectivity recipe."""
+    conn = db.connect(options=options, cold=False)
+    statement = conn.prepare(SQL)
+    statement.run({"lo": 0, "hi": 50}, keep_rows=False)
+    return conn, statement
+
+
+def test_budget_is_the_sla_multiple_of_full_scan(micro_db):
+    ac = AdmissionController(micro_db, sla_multiple=2.0)
+    params = ac.table_params("micro")
+    assert ac.budget_for("micro") == \
+        2.0 * full_scan_cost(params.at_selectivity(1.0))
+    # Memoized: same float object/value on every lookup.
+    assert ac.budget_for("micro") == ac.budget_for("micro")
+
+
+def test_selective_probe_admits(micro_db):
+    ac = AdmissionController(micro_db)
+    conn, statement = seeded(micro_db, CLASSIC_OPTIONS)
+    decision = ac.decide(conn, statement, {"lo": 0, "hi": 100})
+    assert decision.action == ADMIT
+    assert decision.admitted
+    assert decision.estimated_cost <= decision.budget
+    conn.close()
+
+
+def test_drifted_replay_degrades_to_bounded_smooth(micro_db):
+    # The cached recipe pins the index path chosen at 0.05%; re-priced
+    # at 8% selectivity the same plan costs ~50x the budget, and the
+    # controller re-routes it to the SLA-triggered Smooth Scan.
+    ac = AdmissionController(micro_db)
+    conn, statement = seeded(micro_db, CLASSIC_OPTIONS)
+    decision = ac.decide(conn, statement, {"lo": 0, "hi": 8_000})
+    assert decision.action == DEGRADE
+    assert decision.admitted
+    assert decision.estimated_cost > decision.budget
+    options = ac.degrade_options_for("micro", CLASSIC_OPTIONS)
+    assert options.force_path == "smooth"
+    assert isinstance(options.smooth_trigger, SLADrivenTrigger)
+    # One stable options object per table: degraded executions share a
+    # plan-cache entry instead of fingerprinting a fresh trigger each.
+    assert ac.degrade_options_for("micro", CLASSIC_OPTIONS) is options
+    conn.close()
+
+
+def test_force_path_hint_forbids_degrading(micro_db):
+    ac = AdmissionController(micro_db)
+    conn = micro_db.connect(options=CLASSIC_OPTIONS, cold=False)
+    statement = conn.prepare(
+        "SELECT /*+ force_path(index) */ * FROM micro "
+        "WHERE c2 >= :lo AND c2 < :hi")
+    decision = ac.decide(conn, statement, {"lo": 0, "hi": 50_000})
+    assert decision.action == REJECT
+    assert not decision.admitted
+    assert decision.estimated_cost > decision.budget
+    assert "force_path(index)" in decision.reason
+    assert decision.to_dict()["action"] == "reject"
+    conn.close()
+
+
+def test_smooth_plans_are_priced_not_nan(micro_db):
+    # The planner leaves smooth decisions uncosted (NaN); admission
+    # must still price them — with the smooth cost model — so the
+    # budget comparison is meaningful.
+    ac = AdmissionController(micro_db)
+    conn, statement = seeded(micro_db, SMOOTH_OPTIONS)
+    _planned, cost = ac.price(conn, statement, {"lo": 0, "hi": 8_000})
+    assert math.isfinite(cost)
+    assert cost > 0
+    decision = ac.decide(conn, statement, {"lo": 0, "hi": 8_000})
+    # The smooth expectation at 8% fits: no degrade, no rejection.
+    assert decision.action == ADMIT
+    conn.close()
+
+
+def test_tight_sla_rejects_when_no_degrade_can_help(micro_db):
+    # Half a full scan is below the eager smooth worst case: nothing
+    # on this table can bound the blowup, so over-budget = reject.
+    ac = AdmissionController(micro_db, sla_multiple=0.5)
+    assert ac.degrade_options_for("micro", CLASSIC_OPTIONS) is None
+    conn, statement = seeded(micro_db, CLASSIC_OPTIONS)
+    decision = ac.decide(conn, statement, {"lo": 0, "hi": 8_000})
+    assert decision.action == REJECT
+    assert "no Smooth Scan" in decision.reason
+    conn.close()
+
+
+def test_unindexed_table_has_budget_but_no_degrade_path():
+    db = Database()
+    schema = Schema((Column("k", ColumnType.INT),))
+    table = db.create_table("bare", schema)
+    table.insert_many([(i,) for i in range(5_000)])
+    db.analyze()
+    ac = AdmissionController(db)
+    assert ac.budget_for("bare") > 0
+    assert ac.degrade_options_for("bare", None) is None
+
+
+def test_controller_validates_configuration(micro_db):
+    with pytest.raises(ConfigError):
+        AdmissionController(micro_db, sla_multiple=0.0)
+    with pytest.raises(ConfigError):
+        AdmissionController(micro_db, max_inflight=0)
+
+
+def test_inflight_slots_ration_and_release(micro_db):
+    ac = AdmissionController(micro_db, max_inflight=2)
+    assert ac.slots_free == 2
+    assert ac.try_acquire() and ac.try_acquire()
+    assert ac.slots_free == 0
+    assert not ac.try_acquire()
+    ac.release()
+    assert ac.slots_free == 1
+    ac.release()
+    with pytest.raises(ConfigError):
+        ac.release()  # nothing held
+
+
+def test_stats_counters_and_queue_percentiles(micro_db):
+    ac = AdmissionController(micro_db)
+    conn, statement = seeded(micro_db, CLASSIC_OPTIONS)
+    admit = ac.decide(conn, statement, {"lo": 0, "hi": 100})
+    degrade = ac.decide(conn, statement, {"lo": 0, "hi": 8_000})
+    stats = AdmissionStats()
+    stats.note_admitted(admit, wait_ms=0.0, was_queued=False)
+    stats.note_admitted(degrade, wait_ms=12.5, was_queued=True)
+    stats.note_rejected(degrade)
+    assert (stats.admitted, stats.degraded, stats.rejected) == (1, 1, 1)
+    assert stats.decided == 3
+    assert stats.queued == 1
+    assert stats.queue_wait_p99_ms == 12.5
+    assert stats.rejections == [(degrade.estimated_cost, degrade.budget)]
+    as_dict = stats.to_dict()
+    assert as_dict["queued"] == 1
+    assert as_dict["queue_wait_p50_ms"] == 0.0
+    conn.close()

@@ -1,0 +1,97 @@
+"""The NDJSON frame vocabulary: codec, validation, structured errors."""
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    rows_payload,
+    validate_request,
+)
+
+
+def test_encode_decode_round_trip():
+    frame = {"op": "execute", "id": 7, "sql": "SELECT 1", "params": [1, 2]}
+    assert decode_frame(encode_frame(frame)) == frame
+
+
+def test_encoding_is_deterministic_bytes():
+    # Sorted keys + compact separators: the byte encoding of a frame
+    # is independent of dict insertion order.
+    a = encode_frame({"op": "stats", "id": 1})
+    b = encode_frame({"id": 1, "op": "stats"})
+    assert a == b
+    assert a.endswith(b"\n")
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError) as exc:
+        decode_frame(b"not json\n")
+    assert exc.value.code == protocol.ERR_BAD_FRAME
+    with pytest.raises(ProtocolError):
+        decode_frame(b"\xff\xfe\n")
+    with pytest.raises(ProtocolError):
+        decode_frame(b"[1, 2, 3]\n")  # a frame must be an object
+
+
+def test_validate_accepts_every_documented_op():
+    frames = [
+        {"op": "prepare", "id": 1, "sql": "SELECT 1"},
+        {"op": "execute", "id": "a", "statement": 0, "params": [1]},
+        {"op": "execute", "id": 2, "sql": "SELECT 1", "params": None},
+        {"op": "query", "id": 3, "sql": "SELECT 1",
+         "params": {"lo": 1}},
+        {"op": "fetch", "id": 4, "cursor": 0, "n": 16},
+        {"op": "fetch", "id": 5, "cursor": 0},
+        {"op": "close", "id": 6, "cursor": 0},
+        {"op": "stats", "id": 7},
+        {"op": "shutdown", "id": 8},
+    ]
+    assert [validate_request(f) for f in frames] == \
+        [f["op"] for f in frames]
+
+
+@pytest.mark.parametrize("frame,code", [
+    ({}, protocol.ERR_BAD_FRAME),
+    ({"op": 7, "id": 1}, protocol.ERR_BAD_FRAME),
+    ({"op": "mystery", "id": 1}, protocol.ERR_UNKNOWN_OP),
+    ({"op": "stats"}, protocol.ERR_BAD_FRAME),              # no id
+    ({"op": "stats", "id": True}, protocol.ERR_BAD_FRAME),  # bool id
+    ({"op": "stats", "id": [1]}, protocol.ERR_BAD_FRAME),
+    ({"op": "prepare", "id": 1}, protocol.ERR_BAD_FRAME),   # no sql
+    ({"op": "prepare", "id": 1, "sql": 5}, protocol.ERR_BAD_FRAME),
+    ({"op": "execute", "id": 1}, protocol.ERR_BAD_FRAME),
+    ({"op": "execute", "id": 1, "statement": "x"},
+     protocol.ERR_BAD_FRAME),
+    ({"op": "execute", "id": 1, "statement": True},
+     protocol.ERR_BAD_FRAME),
+    ({"op": "execute", "id": 1, "sql": "SELECT 1", "params": "x"},
+     protocol.ERR_BAD_FRAME),
+    ({"op": "fetch", "id": 1}, protocol.ERR_BAD_FRAME),
+    ({"op": "fetch", "id": 1, "cursor": 0, "n": 0},
+     protocol.ERR_BAD_FRAME),
+    ({"op": "fetch", "id": 1, "cursor": 0, "n": True},
+     protocol.ERR_BAD_FRAME),
+    ({"op": "close", "id": 1}, protocol.ERR_BAD_FRAME),
+])
+def test_validate_rejects_malformed_frames(frame, code):
+    with pytest.raises(ProtocolError) as exc:
+        validate_request(frame)
+    assert exc.value.code == code
+
+
+def test_error_frame_shape():
+    frame = error_frame(9, protocol.ERR_REJECTED, "over budget",
+                        detail={"estimated_cost": 500.0, "budget": 200.0})
+    assert frame == {"op": "error", "id": 9, "code": "rejected",
+                     "message": "over budget",
+                     "detail": {"estimated_cost": 500.0, "budget": 200.0}}
+    # No detail field when there is no detail.
+    assert "detail" not in error_frame(None, protocol.ERR_SQL, "boom")
+
+
+def test_rows_payload_is_json_ready():
+    assert rows_payload([(1, 2), (3, 4)]) == [[1, 2], [3, 4]]
