@@ -1,0 +1,57 @@
+"""Telemetry workload: the concurrency drill traced end to end.
+
+Runs the 4-client drifted-replay mix (classic and smooth serving) with
+the tracer on and pins the three guarantees the telemetry warehouse
+makes:
+
+* SQL rollups over the self-hosted history store agree exactly with
+  the in-memory workload reports;
+* replaying the captured trace file on a fresh database reproduces
+  every per-query ledger bitwise;
+* tracing charges zero simulated cost — the identical untraced
+  workload produces byte-identical detailed reports.
+
+The emitted artifact embeds the equality verdict lines CI greps for,
+plus the captured trace file itself (``telemetry_trace.json``).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.bench.reporting import results_dir
+from repro.experiments.concurrency import DEFAULT_CLIENTS, MIX_PCT
+from repro.experiments.telemetry import (
+    RUN_IDS,
+    run_telemetry_workload,
+)
+from repro.telemetry.rollups import totals
+
+
+def test_telemetry_workload(benchmark, report):
+    result = run_once(benchmark, run_telemetry_workload)
+    report("telemetry_workload", result.report())
+    result.trace.save(os.path.join(results_dir(),
+                                   "telemetry_trace.json"))
+
+    queries = DEFAULT_CLIENTS * len(MIX_PCT)
+    for series in result.series:
+        assert len(series.report.records) == queries
+        # Capture found every span: the seed plus the scheduled mix.
+        assert series.captured.statement_count == queries + 1
+        assert len(series.captured.seeds) == 1
+        assert series.conservation_ok
+        # The headline guarantee: warehouse SQL == in-memory report.
+        assert series.rollup_problems == []
+
+    # The warehouse holds both series (plus their seed runs) and its
+    # totals are queryable per run id.
+    for name, run_id in RUN_IDS.items():
+        assert totals(result.store, run_id=run_id)["queries"] == queries
+
+    # Replaying the trace file reproduces every per-query ledger.
+    assert result.replay.ok
+    assert result.replay.statements == 2 * (queries + 1)
+
+    # Tracing is simulated-cost invisible.
+    assert result.overhead_identical

@@ -208,12 +208,29 @@ class Connection:
         if bound.explain:
             return planned.render()
         planned.reset_counters()
-        run = measure(self.db, planned.root,
-                      cold=self.cold if cold is None else cold,
+        run_cold = self.cold if cold is None else cold
+        self._note_statement(statement.sql, params, opts, run_cold)
+        run = measure(self.db, planned.root, cold=run_cold,
                       keep_rows=keep_rows)
         return QueryResult(planned, run)
 
     # -- internals -----------------------------------------------------------
+
+    def _note_statement(self, sql: str, params: object,
+                        options: PlannerOptions | None,
+                        cold: bool) -> None:
+        """Hand statement context to the tracer before a run starts.
+
+        The next streaming run's ``query.start`` span picks it up —
+        statement text, bind params, planner options, cold/warm — which
+        is what makes traced workloads capturable for replay.  One
+        attribute check when tracing is off.
+        """
+        tracer = self.db.tracer
+        if tracer.enabled:
+            from repro.telemetry.capture import options_to_dict
+            tracer.note_statement(sql, params, options_to_dict(options),
+                                  cold)
 
     def _compile(self, sql: str) -> "BoundStatement":
         """Lex/parse/bind one statement (counted on the database)."""
@@ -256,6 +273,9 @@ class PreparedStatement:
     """
 
     def __init__(self, connection: Connection, sql: str):
+        # Compiling against a closed session must fail like every other
+        # use of one — InterfaceError, not a late surprise at execute.
+        connection._check_open()
         self.connection = connection
         self.sql = sql
         self._bound = connection._compile(sql)
@@ -288,6 +308,7 @@ class PreparedStatement:
 
     def explain(self, params: object = None) -> str:
         """The plan tree this statement gets for ``params``, unexecuted."""
+        self.connection._check_open()
         bound = self._bound
         opts = bound.planner_options(self.connection.options)
         planned, _ = self.connection._plan(bound, opts, params)
@@ -309,6 +330,7 @@ class Cursor:
     """
 
     def __init__(self, connection: Connection):
+        connection._check_open()
         self.connection = connection
         connection._cursors.append(weakref.ref(self))
         self.arraysize = DEFAULT_ARRAYSIZE
@@ -347,6 +369,8 @@ class Cursor:
             self._install_explain(planned, outcome)
             return self
         planned.reset_counters()
+        self.connection._note_statement(statement.sql, params, opts,
+                                        self.connection.cold)
         self._run = StreamingRun(self.connection.db, planned.root,
                                  cold=self.connection.cold)
         self.description = [
@@ -498,9 +522,13 @@ class Cursor:
         """EXPLAIN result set: one plan-tree line per row, plus the
         plan-cache status line (the stats ``explain()`` surfaces)."""
         from repro.storage.types import ColumnType
-        stats = self.connection.db.plan_cache.stats
+        stats = self.connection.db.plan_cache.stats_dict()
         lines = planned.render().splitlines()
-        lines.append(f"plan cache: {outcome} ({stats.describe()})")
+        lines.append(
+            f"plan cache: {outcome} (hits={stats['hits']} "
+            f"misses={stats['misses']} "
+            f"invalidations={stats['invalidations']})"
+        )
         self._static = deque((line,) for line in lines)
         self.description = [
             ("plan", ColumnType.CHAR, None, None, None, None, None)

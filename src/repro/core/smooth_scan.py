@@ -174,6 +174,13 @@ class SmoothScan(Operator):
         max_region = self.max_region_pages or ctx.config.max_region_pages
         if self.max_mode == 1:
             max_region = 1
+        tracer = ctx.runtime.tracer
+        tracer.emit(
+            "morph.start", query_id=tracer.current_query_id,
+            policy=self.policy.name, trigger=self.trigger.name,
+            ordered=self.ordered, max_mode=self.max_mode,
+            heap_pages=heap.num_pages,
+        )
         return _RunState(
             stats=stats,
             page_cache=page_cache,
@@ -200,9 +207,11 @@ class SmoothScan(Operator):
 
         residual_fn = self.residual.bind(self.schema)
         in_range = self.key_range.contains
+        tracer = ctx.runtime.tracer
 
         region = policy.initial_region()
         mode0_active = not self.trigger.eager
+        flattened = False
         pages_res_global = 0
         pages_seen_smooth = 0
 
@@ -230,6 +239,12 @@ class SmoothScan(Operator):
                 if self.trigger.should_morph(stats.produced):
                     mode0_active = False
                     stats.morphed_at = stats.produced
+                    tracer.emit(
+                        "morph.trigger",
+                        query_id=tracer.current_query_id,
+                        value=float(stats.produced),
+                        probes=stats.probes, trigger=self.trigger.name,
+                    )
                     override = self.trigger.post_morph_policy()
                     if override is not None:
                         policy = override
@@ -292,6 +307,24 @@ class SmoothScan(Operator):
                 stats.region_trace.append((stats.probes, region))
                 if region > stats.max_region_used:
                     stats.max_region_used = region
+                if region > 1 and not flattened:
+                    # Mode 1 → Mode 2: the region first grew past one
+                    # page, with the selectivities that drove it.
+                    flattened = True
+                    tracer.emit(
+                        "morph.flatten",
+                        query_id=tracer.current_query_id,
+                        value=float(region),
+                        local_selectivity=local_sel,
+                        global_selectivity=global_sel,
+                    )
+        tracer.emit(
+            "morph.finish", query_id=tracer.current_query_id,
+            value=float(stats.pages_fetched),
+            pages_fetched=stats.pages_fetched, produced=stats.produced,
+            probes=stats.probes, max_region=stats.max_region_used,
+            morphed_at=stats.morphed_at,
+        )
 
     def _process_run(self, ctx: ExecutionContext, heap, run_start: int,
                      run_len: int, page_cache: PageIdCache,
@@ -374,8 +407,10 @@ class SmoothScan(Operator):
                 def fast_mask(chunk, _q=qualify_mask, _r=residual_mask):
                     return mask_and(_q(chunk), _r(chunk))
 
+        tracer = ctx.runtime.tracer
         region = policy.initial_region()
         mode0_active = not self.trigger.eager
+        flattened = False
         pages_res_global = 0
         pages_seen_smooth = 0
         num_pages = heap.num_pages
@@ -410,6 +445,7 @@ class SmoothScan(Operator):
             the selectivity accounting) in place.
             """
             nonlocal pending, region, pages_res_global, pages_seen_smooth
+            nonlocal flattened
             start = tid.page_id
             end = min(num_pages, start + region)
             region_pages = 0
@@ -460,6 +496,17 @@ class SmoothScan(Operator):
                 stats.region_trace.append((probes, region))
                 if region > stats.max_region_used:
                     stats.max_region_used = region
+                if region > 1 and not flattened:
+                    # Mode 1 → Mode 2: the region first grew past one
+                    # page, with the selectivities that drove it.
+                    flattened = True
+                    tracer.emit(
+                        "morph.flatten",
+                        query_id=tracer.current_query_id,
+                        value=float(region),
+                        local_selectivity=local_sel,
+                        global_selectivity=global_sel,
+                    )
 
         # ---- Vectorized probe loop: with no auxiliary cache (and hence
         # no Mode 0 — non-eager triggers always build a Tuple ID cache),
@@ -503,6 +550,14 @@ class SmoothScan(Operator):
             stats.probes = probes
             if pending:
                 yield as_batch(pending)
+            tracer.emit(
+                "morph.finish", query_id=tracer.current_query_id,
+                value=float(stats.pages_fetched),
+                pages_fetched=stats.pages_fetched,
+                produced=stats.produced, probes=stats.probes,
+                max_region=stats.max_region_used,
+                morphed_at=stats.morphed_at,
+            )
             return
 
         for keys, tids in self.index.scan_batches(
@@ -536,6 +591,12 @@ class SmoothScan(Operator):
                     if self.trigger.should_morph(stats.produced):
                         mode0_active = False
                         stats.morphed_at = stats.produced
+                        tracer.emit(
+                            "morph.trigger",
+                            query_id=tracer.current_query_id,
+                            value=float(stats.produced),
+                            probes=probes, trigger=self.trigger.name,
+                        )
                         override = self.trigger.post_morph_policy()
                         if override is not None:
                             policy = override
@@ -571,6 +632,13 @@ class SmoothScan(Operator):
         stats.probes = probes
         if pending:
             yield as_batch(pending)
+        tracer.emit(
+            "morph.finish", query_id=tracer.current_query_id,
+            value=float(stats.pages_fetched),
+            pages_fetched=stats.pages_fetched, produced=stats.produced,
+            probes=stats.probes, max_region=stats.max_region_used,
+            morphed_at=stats.morphed_at,
+        )
 
     def _emit_run(self, ctx: ExecutionContext, heap, run_start: int,
                   run_len: int, state: _RunState, qualify, residual_sel,

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.plan_cache import PlanCache
     from repro.optimizer.planner import PlannedQuery, PlannerOptions
     from repro.optimizer.statistics import StatisticsCatalog
+    from repro.telemetry.tracer import Tracer
 
 class Database:
     """An engine instance: configuration + shared runtime + accounting."""
@@ -85,6 +86,12 @@ class Database:
         """The physical catalog of tables (owned by the runtime)."""
         return self.runtime.tables
 
+    @property
+    def tracer(self) -> "Tracer":
+        """The structured trace layer (owned by the runtime, off by
+        default; ``db.tracer.enable()`` starts buffering events)."""
+        return self.runtime.tracer
+
     # -- schema operations --------------------------------------------------
 
     def _allocate_file_id(self) -> int:
@@ -123,6 +130,19 @@ class Database:
         self._autosize_buffer()
         self._bump_catalog_version()
         return table
+
+    def append_rows(self, name: str, rows: Iterable[Row]) -> int:
+        """Append rows to an existing table (offline, no I/O charged).
+
+        Indexes are maintained incrementally and the catalog version is
+        bumped (statistics may now be stale), but the buffer pool is
+        *not* re-autosized: a growing table must not silently change
+        the cache geometry of runs in flight.  The telemetry warehouse
+        syncs events through this path.
+        """
+        count = self.table(name).insert_many(rows)
+        self._bump_catalog_version()
+        return count
 
     def table(self, name: str) -> Table:
         """Look up a table by name.
@@ -204,7 +224,9 @@ class Database:
         """This database's plan cache (one, shared by every connection)."""
         if self._plan_cache is None:
             from repro.optimizer.plan_cache import PlanCache
-            self._plan_cache = PlanCache()
+            self._plan_cache = PlanCache(
+                on_event=self.tracer.plan_cache_event
+            )
         return self._plan_cache
 
     # -- sessions -------------------------------------------------------

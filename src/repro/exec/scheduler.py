@@ -167,9 +167,64 @@ class WorkloadReport:
             "throughput_qps": self.throughput_qps,
         }
 
-    def to_json(self) -> str:
-        """:meth:`summary_dict` as a deterministic one-line JSON string."""
-        return json.dumps(self.summary_dict(), sort_keys=True)
+    def to_json(self, detail: bool = False) -> str:
+        """A deterministic one-line JSON string of this report.
+
+        The default is :meth:`summary_dict` — the exact byte shape the
+        committed bench artifacts embed.  ``detail=True`` serializes
+        :meth:`detail_dict` instead: every record with its full ledger,
+        loadable back via :meth:`from_detail_dict`.
+        """
+        payload = self.detail_dict() if detail else self.summary_dict()
+        return json.dumps(payload, sort_keys=True)
+
+    def detail_dict(self) -> dict:
+        """The round-trippable shape: every record, ledgers included.
+
+        Percentiles and throughput are deliberately *not* stored — a
+        loaded report recomputes them from the records, so the summary
+        can never drift from the detail it claims to summarize.
+        """
+        return {
+            "schema": "workload-report-detail/v1",
+            "started_ms": self.started_ms,
+            "finished_ms": self.finished_ms,
+            "records": [
+                {
+                    "client": r.client,
+                    "label": r.label,
+                    "rows": r.rows,
+                    "start_ms": r.start_ms,
+                    "finish_ms": r.finish_ms,
+                    "ledger": r.ledger.to_dict(),
+                }
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_detail_dict(cls, data: dict) -> "WorkloadReport":
+        """Rebuild a report serialized by :meth:`detail_dict`."""
+        schema = data.get("schema")
+        if schema != "workload-report-detail/v1":
+            raise ExecutionError(
+                f"unsupported workload-report schema {schema!r}"
+            )
+        return cls(
+            records=[
+                QueryRecord(
+                    client=r["client"],
+                    label=r["label"],
+                    rows=r["rows"],
+                    start_ms=r["start_ms"],
+                    finish_ms=r["finish_ms"],
+                    ledger=CostLedger.from_dict(r["ledger"]),
+                )
+                for r in data["records"]
+            ],
+            started_ms=data["started_ms"],
+            finished_ms=data["finished_ms"],
+        )
 
 
 #: Starts one query: returns a StreamingRun, or any object (a Cursor)
@@ -229,15 +284,28 @@ class WorkloadClient:
                     "cannot be scheduled)"
                 )
             self._current = run
+            # Join scheduling identity onto the query span the start()
+            # factory just opened (capture/replay keys off this).
+            scheduler.runtime.tracer.emit(
+                "sched.start", query_id=getattr(run, "query_id", -1),
+                value=self._start_ms, client=self.name, label=self._label,
+                weight=self.weight,
+            )
         if run.next_batch() is None:
+            finish_ms = scheduler.runtime.clock.total_ms
             scheduler._records.append(QueryRecord(
                 client=self.name,
                 label=self._label,
                 rows=run.rows_produced,
                 start_ms=self._start_ms,
-                finish_ms=scheduler.runtime.clock.total_ms,
+                finish_ms=finish_ms,
                 ledger=run.ledger,
             ))
+            scheduler.runtime.tracer.emit(
+                "sched.finish", query_id=getattr(run, "query_id", -1),
+                value=finish_ms - self._start_ms, client=self.name,
+                label=self._label, rows=run.rows_produced,
+            )
             self._current = None
         return True
 
@@ -294,11 +362,14 @@ class CooperativeScheduler:
             self.runtime.cold_start()
         self._records = []
         started_ms = self.runtime.clock.total_ms
+        tracer = self.runtime.tracer
         if interleave:
             live = list(self._clients)
             while live:
                 still: list[WorkloadClient] = []
                 for client in live:
+                    tracer.emit("sched.grant", client=client.name,
+                                batches=client.weight * self.quantum)
                     alive = True
                     for _ in range(client.weight * self.quantum):
                         alive = client._step(self)
@@ -309,6 +380,8 @@ class CooperativeScheduler:
                 live = still
         else:
             for client in self._clients:
+                tracer.emit("sched.grant", client=client.name,
+                            batches=client.weight * self.quantum)
                 while client._step(self):
                     pass
         return WorkloadReport(

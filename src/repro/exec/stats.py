@@ -9,6 +9,13 @@ and wraps each batch pull in a runtime attribution window, so any number
 of interleaved runs on one database report correct isolated costs.
 :func:`measure` wraps an operator execution in a streaming run drained to
 completion.
+
+Ledgers are also *published*: when tracing is enabled every run opens a
+query span and closes it with its final ledger, so consumers that want
+per-query costs after the fact should read them from the telemetry
+history store (:mod:`repro.telemetry.store` — queryable via SQL,
+rollups in :mod:`repro.telemetry.rollups`) instead of holding on to
+``RunResult`` objects.
 """
 
 from __future__ import annotations
@@ -131,27 +138,50 @@ class StreamingRun:
         self.exhausted = False
         self.closed = False
         self._runtime.register_stream(self)
+        # Open the telemetry query span (-1 while tracing is off); any
+        # statement context the session layer noted attaches here.
+        self._query_id = self._runtime.tracer.begin_query(cold)
+        self._span_closed = False
+
+    @property
+    def query_id(self) -> int:
+        """The telemetry span id of this run (-1 while tracing is off)."""
+        return self._query_id
+
+    def _finish_span(self, partial: bool, error: str | None = None) -> None:
+        if self._query_id >= 0 and not self._span_closed:
+            self._span_closed = True
+            self._runtime.tracer.finish_query(
+                self._query_id, self.rows_produced, partial, self.ledger,
+                error=error,
+            )
 
     def next_batch(self) -> Batch | None:
         """The next non-empty batch (a :class:`Chunk` or row list), or
         ``None`` once the plan is done."""
         if self.closed or self.exhausted:
             return None
+        tracer = self._runtime.tracer
+        if tracer.enabled:
+            # Operators emitting mid-pull (morph events) attribute here.
+            tracer.current_query_id = self._query_id
         self._runtime.begin_attribution(self.ledger)
         try:
             batch = next(self._batches, None)
-        except BaseException:
+        except BaseException as exc:
             # The plan died: the run can never be drained, so drop it
             # from the live registry (a later cold start must not be
             # blocked by a corpse).
             self._runtime.end_attribution()
             self._runtime.unregister_stream(self)
             self.closed = True
+            self._finish_span(partial=True, error=type(exc).__name__)
             raise
         self._runtime.end_attribution()
         if batch is None:
             self.exhausted = True
             self._runtime.unregister_stream(self)
+            self._finish_span(partial=False)
             return None
         self.rows_produced += len(batch)
         return batch
@@ -194,6 +224,7 @@ class StreamingRun:
                     self._runtime.end_attribution()
             self.closed = True
             self._runtime.unregister_stream(self)
+            self._finish_span(partial=not self.exhausted)
 
 
 def count_rows(rows: Iterable[Row]) -> int:

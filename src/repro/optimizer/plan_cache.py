@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.optimizer.planner import PlannerOptions, PlanRecipe
 
@@ -93,9 +94,16 @@ class PlanCache:
 
     capacity: int = DEFAULT_CAPACITY
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+    #: Optional observer called with "hit" / "miss" / "invalidation" /
+    #: "eviction" as each happens (the database wires the tracer here).
+    on_event: "Callable[[str], None] | None" = None
     _entries: "OrderedDict[tuple, _Entry]" = field(
         default_factory=OrderedDict
     )
+
+    def _notify(self, kind: str) -> None:
+        if self.on_event is not None:
+            self.on_event(kind)
 
     def lookup(self, key: tuple, catalog_version: int) -> PlanRecipe | None:
         """The cached recipe for ``key``, or ``None`` (counted as a miss).
@@ -107,15 +115,19 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            self._notify("miss")
             return None
         if entry.catalog_version != catalog_version:
             del self._entries[key]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            self._notify("invalidation")
+            self._notify("miss")
             return None
         self._entries.move_to_end(key)
         entry.hits += 1
         self.stats.hits += 1
+        self._notify("hit")
         return entry.recipe
 
     def store(self, key: tuple, recipe: PlanRecipe,
@@ -126,6 +138,7 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._notify("eviction")
 
     def clear(self) -> None:
         """Drop every entry (stats are cumulative and survive)."""
@@ -134,8 +147,25 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def stats_dict(self) -> dict:
+        """The structured cache state: size, capacity, cumulative stats.
+
+        The single source of truth every surface formats from — cursor
+        EXPLAIN's plan-cache line, the metrics registry's gauges, and
+        the server ``stats`` frame all read this dict.
+        """
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "invalidations": self.stats.invalidations,
+            "evictions": self.stats.evictions,
+            "lookups": self.stats.lookups,
+        }
+
     def describe(self) -> str:
         """One line for the REPL: size plus cumulative stats."""
-        n = len(self._entries)
+        n = self.stats_dict()["entries"]
         return (f"plan cache: {n} entr{'y' if n == 1 else 'ies'}, "
                 f"{self.stats.describe()}")

@@ -179,6 +179,12 @@ class EngineRuntime:
             or MIN_AUTO_BUFFER_PAGES,
             hit_cpu_ms=config.cpu.buffer_hit,
         )
+        # Deferred import: the tracer reads this runtime's clock, so
+        # the telemetry package sits above this module.
+        from repro.telemetry.tracer import Tracer
+        #: Structured trace emission (disabled by default, zero
+        #: simulated cost — reads the clock, never charges it).
+        self.tracer = Tracer(self.clock)
         #: Physical catalog: every table (heap + indexes) of the engine.
         self.tables: dict[str, "Table"] = {}
         self._next_file_id = 0

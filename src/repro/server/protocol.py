@@ -63,6 +63,8 @@ ERR_STATEMENT_MISSING = "statement_missing"
 ERR_CURSOR_MISSING = "cursor_missing"
 ERR_SHUTTING_DOWN = "shutting_down"    # server is draining, no new work
 ERR_TIMEOUT = "timeout"                # per-request timeout expired
+ERR_INTERFACE = "interface"            # session-layer misuse (closed
+                                       # connection/cursor, bad fetch size)
 ERR_INTERNAL = "internal"              # unexpected engine error
 
 

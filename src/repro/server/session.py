@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.api.session import Connection, Cursor, PreparedStatement
-from repro.errors import ReproError, SqlError
+from repro.errors import InterfaceError, ReproError, SqlError
 from repro.optimizer.planner import PlannerOptions
 from repro.server import protocol
 from repro.server.admission import (
@@ -290,6 +290,11 @@ class ServerSession:
             return [error_frame(rid, exc.code, exc.message)]
         except SqlError as exc:
             return [error_frame(rid, protocol.ERR_SQL, str(exc))]
+        except InterfaceError as exc:
+            # Session-layer misuse (closed connection/cursor, bad fetch
+            # size) gets its own code on EVERY frame type — a client
+            # racing a close sees "interface", never "internal".
+            return [error_frame(rid, protocol.ERR_INTERFACE, str(exc))]
         except ReproError as exc:
             return [error_frame(rid, protocol.ERR_INTERNAL,
                                 f"{type(exc).__name__}: {exc}")]
@@ -355,6 +360,10 @@ class ServerSession:
         decision = self.front.admission.decide(self.conn, statement, params)
         if not decision.admitted:
             self.front.admission.stats.note_rejected(decision)
+            self.front.db.tracer.emit(
+                "admission.reject", value=decision.estimated_cost,
+                **decision.to_dict(),
+            )
             return [error_frame(rid, protocol.ERR_REJECTED, decision.reason,
                                 detail=decision.to_dict())]
         submit_ms = self.front.clock_ms
@@ -383,15 +392,26 @@ class ServerSession:
                          wait_ms: float, was_queued: bool,
                          drain: bool) -> list[dict]:
         """Start one admitted statement (slot already held)."""
+        tracer = self.front.db.tracer
         try:
             conn = (self.conn if decision.action == ADMIT
                     else self.front.degraded_connection(decision.table))
+            tracer.note_client(f"session-{self.id}")
             cursor = conn.cursor().execute(statement, params)
         except BaseException:
             self.front.release_slot()
             raise
         self.front.admission.stats.note_admitted(decision, wait_ms,
                                                  was_queued)
+        stream = cursor.stream
+        tracer.emit(
+            f"admission.{decision.action}",
+            query_id=stream.query_id if stream is not None else -1,
+            value=decision.estimated_cost, queued_ms=wait_ms,
+            **decision.to_dict(),
+        )
+        if was_queued:
+            tracer.emit("admission.dequeue", value=wait_ms)
         cid = self._register_cursor(cursor, decision, holds_slot=True)
         admission = dict(decision.to_dict(), queued_ms=wait_ms)
         frames = [self._executing_frame(rid, cid, cursor, admission)]
@@ -504,6 +524,11 @@ class ServerSession:
 
     def _stats(self, rid: object) -> list[dict]:
         front = self.front
+        tracer = front.db.tracer
+        # Fold the plan cache's structured stats into gauges so the
+        # stats frame, EXPLAIN, and \\metrics all read one source.
+        for name, value in front.db.plan_cache.stats_dict().items():
+            tracer.metrics.gauge(f"plan_cache_{name}").set(value)
         return [{
             "op": "stats",
             "id": rid,
@@ -514,5 +539,10 @@ class ServerSession:
                 "queued": front.queued,
                 "sessions": front.sessions,
                 "draining": front.draining,
+            },
+            "telemetry": {
+                "enabled": tracer.enabled,
+                "events_buffered": len(tracer.events),
+                "metrics": tracer.metrics.to_dict(),
             },
         }]

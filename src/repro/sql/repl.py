@@ -18,6 +18,8 @@ measured simulated time and I/O.  Meta commands start with a backslash:
                        statement's per-query cost ledger
     \\clients <n>       replay the last statement from N interleaved
                        cursors (deterministic cooperative scheduling)
+    \\metrics           telemetry metrics in deterministic text form
+                       (tracing is on for the whole shell session)
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 
@@ -48,6 +50,8 @@ _HELP = """
                        statement's per-query cost ledger
     \\clients <n>       replay the last statement from N interleaved
                        cursors (deterministic cooperative scheduling)
+    \\metrics           telemetry metrics in deterministic text form
+                       (tracing is on for the whole shell session)
     \\help              this text
     \\quit              exit (also: \\q, EOF)
 """
@@ -62,6 +66,10 @@ class Repl:
     def __init__(self, db: Database, out: IO[str] | None = None,
                  mode: str = "tuned"):
         self.db = db
+        # The shell runs traced: every statement feeds the metrics
+        # registry that \metrics prints.  Tracing charges no simulated
+        # cost, so printed timings are unaffected.
+        db.tracer.enable()
         # One session for the whole shell: repeated statements hit the
         # plan cache (\analyze reports its counters).
         self.conn = db.connect()
@@ -177,6 +185,13 @@ class Repl:
                 )
         elif name == "clients" and len(parts) == 2:
             self._clients(parts[1])
+        elif name == "metrics":
+            # One source of truth: the plan cache's structured stats
+            # become gauges, same as the server's stats frame.
+            metrics = self.db.tracer.metrics
+            for key, value in self.db.plan_cache.stats_dict().items():
+                metrics.gauge(f"plan_cache_{key}").set(value)
+            self._print(metrics.exposition())
         else:
             self._print(f"error: unknown command \\{command} "
                         "(\\help lists commands)")

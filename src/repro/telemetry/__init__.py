@@ -1,0 +1,59 @@
+"""Telemetry warehouse: trace events, metrics, history store, replay.
+
+The observability layer of the engine, built on one principle the rest
+of the repo already enforces: *simulated cost is the measurement, so
+observing must never charge it*.  Every piece here reads the shared
+clock and the per-query ledgers; none of them touches the disk, the
+buffer pool or the clock — with tracing on or off, every committed
+``bench_results`` artifact regenerates byte-identical.
+
+Four cooperating pieces:
+
+* :mod:`~repro.telemetry.tracer` — a process-local :class:`Tracer` on
+  the :class:`~repro.runtime.EngineRuntime`, off by default.  Hot paths
+  that already compute the data emit structured events: query spans
+  (ledger totals at :class:`~repro.exec.stats.StreamingRun` close),
+  Smooth Scan morph lifecycle, plan-cache hit/miss/invalidation,
+  scheduler slice grants, server admission verdicts.
+* :mod:`~repro.telemetry.metrics` — counters, gauges and nearest-rank
+  histograms derived from the event stream, with a deterministic text
+  exposition (the REPL ``\\metrics`` meta and the server ``stats``
+  frame).
+* :mod:`~repro.telemetry.store` + :mod:`~repro.telemetry.schema` +
+  :mod:`~repro.telemetry.rollups` — the self-hosted history store:
+  events flush into *engine tables* (heap files, B-tree index on query
+  id) in a dedicated warehouse database, queryable through the repo's
+  own SQL front end with time-binned rollups.
+* :mod:`~repro.telemetry.capture` + :mod:`~repro.telemetry.replay` —
+  any traced workload becomes a deterministic trace file
+  (statement text, params, client, arrival order, recorded ledgers);
+  ``python -m repro.telemetry.replay trace.json`` re-runs it through
+  the cooperative scheduler and asserts ledger-level equivalence.
+"""
+
+from repro.telemetry.capture import (
+    CapturedRun,
+    CapturedStatement,
+    WorkloadTrace,
+    capture_run,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.replay import ReplayResult, replay_trace
+from repro.telemetry.store import HistoryStore
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "CapturedRun",
+    "CapturedStatement",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistoryStore",
+    "MetricsRegistry",
+    "ReplayResult",
+    "TraceEvent",
+    "Tracer",
+    "WorkloadTrace",
+    "capture_run",
+    "replay_trace",
+]

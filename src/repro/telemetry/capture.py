@@ -1,0 +1,271 @@
+"""Capture: turn a traced workload into a deterministic trace file.
+
+The tracer's event stream already contains everything a replay needs —
+``query.start`` carries statement text, bind params, planner options
+and cold/warm; ``sched.start`` joins the scheduler's client identity,
+weight and arrival order onto the span; ``query.finish`` closes it with
+the rows produced and the per-query :class:`~repro.runtime.CostLedger`.
+:func:`capture_run` performs that join, splitting spans into *seeds*
+(statements run outside the scheduler, e.g. cache warm-up, in emission
+order) and per-client closed-loop queues (in arrival order, clients in
+admission order).
+
+A :class:`WorkloadTrace` bundles captured runs with the setup recipe of
+the database they ran against and serializes to a deterministic JSON
+file (sorted keys, stable ordering) that
+``python -m repro.telemetry.replay`` re-executes and verifies —
+any captured workload becomes a regression suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.planner import PlannerOptions
+    from repro.telemetry.tracer import TraceEvent
+
+#: The trace-file schema tag (bump on incompatible shape changes).
+TRACE_SCHEMA = "workload-trace/v1"
+
+#: PlannerOptions fields a trace file can faithfully round-trip.
+_OPTION_FIELDS = ("enable_index", "enable_sort_scan", "enable_smooth",
+                  "enable_inlj", "force_path")
+#: Hook-valued fields that cannot be serialized (callables).
+_HOOK_FIELDS = ("smooth_policy", "smooth_trigger")
+
+
+def options_to_dict(options: "PlannerOptions | None") -> dict | None:
+    """Serialize planner options for a trace file.
+
+    The four toggles and ``force_path`` round-trip; callable hooks
+    (``smooth_policy`` / ``smooth_trigger``) cannot, so their presence
+    is recorded as a marker that :func:`options_from_dict` rejects —
+    a trace with hooks captures fine (the history store still works)
+    but refuses to *replay*, loudly, instead of replaying wrong.
+    """
+    if options is None:
+        return None
+    out = {name: getattr(options, name) for name in _OPTION_FIELDS}
+    hooks = [name for name in _HOOK_FIELDS
+             if getattr(options, name, None) is not None]
+    if hooks:
+        out["unserializable_hooks"] = hooks
+    return out
+
+
+def options_from_dict(data: dict | None) -> "PlannerOptions | None":
+    """Rebuild planner options recorded by :func:`options_to_dict`."""
+    if data is None:
+        return None
+    from repro.optimizer.planner import PlannerOptions
+    hooks = data.get("unserializable_hooks")
+    if hooks:
+        raise ReproError(
+            f"trace recorded planner options with callable hooks "
+            f"{hooks}; such workloads cannot be replayed from a file"
+        )
+    return PlannerOptions(**{name: data[name] for name in _OPTION_FIELDS})
+
+
+@dataclass
+class CapturedStatement:
+    """One executed statement: identity, text, params, and its outcome."""
+
+    sql: str
+    params: dict | None
+    options: dict | None
+    cold: bool
+    client: str = ""
+    label: str = ""
+    #: Rows the original execution produced (replay must reproduce it).
+    rows: int = 0
+    #: The original per-query ledger (replay must match it).
+    ledger: dict = field(default_factory=dict)
+    #: The query span id in the originating trace (provenance only).
+    query_id: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "sql": self.sql,
+            "params": self.params,
+            "options": self.options,
+            "cold": self.cold,
+            "client": self.client,
+            "label": self.label,
+            "rows": self.rows,
+            "ledger": self.ledger,
+            "query_id": self.query_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapturedStatement":
+        return cls(**data)
+
+
+@dataclass
+class CapturedRun:
+    """One scheduler run: seeds, per-client queues, and its shape."""
+
+    label: str
+    #: Statements executed outside the scheduler, in emission order.
+    seeds: list[CapturedStatement] = field(default_factory=list)
+    #: name → ordered statement queue, clients in admission order.
+    clients: dict[str, list[CapturedStatement]] = field(default_factory=dict)
+    #: name → scheduling weight.
+    weights: dict[str, int] = field(default_factory=dict)
+    interleave: bool = True
+    quantum: int = 1
+    cold: bool = True
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.seeds) + sum(len(q) for q in self.clients.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seeds": [s.to_dict() for s in self.seeds],
+            "clients": {name: [s.to_dict() for s in queue]
+                        for name, queue in self.clients.items()},
+            "client_order": list(self.clients),
+            "weights": self.weights,
+            "interleave": self.interleave,
+            "quantum": self.quantum,
+            "cold": self.cold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapturedRun":
+        order = data.get("client_order") or list(data["clients"])
+        return cls(
+            label=data["label"],
+            seeds=[CapturedStatement.from_dict(s) for s in data["seeds"]],
+            clients={name: [CapturedStatement.from_dict(s)
+                            for s in data["clients"][name]]
+                     for name in order},
+            weights={name: int(w) for name, w in data["weights"].items()},
+            interleave=data["interleave"],
+            quantum=data["quantum"],
+            cold=data["cold"],
+        )
+
+
+def capture_run(events: "Iterable[TraceEvent]", label: str, *,
+                interleave: bool = True, quantum: int = 1,
+                cold: bool = True) -> CapturedRun:
+    """Join one run's trace events into a :class:`CapturedRun`.
+
+    ``events`` is typically ``tracer.drain()`` called right after the
+    scheduler run (capture between runs keeps each run's events
+    separate).  Spans whose ``query.start`` carries no statement text
+    (fluent-API plans executed outside the session layer) cannot be
+    replayed and raise — capture is all-or-nothing per run.
+    """
+    run = CapturedRun(label=label, interleave=interleave, quantum=quantum,
+                      cold=cold)
+    # query_id → the growing span; emission order preserved by dict.
+    spans: dict[int, dict] = {}
+    for event in events:
+        if event.query_id < 0:
+            continue
+        if event.kind == "query.start":
+            spans[event.query_id] = {"start": event.attrs}
+        elif event.kind == "sched.start":
+            span = spans.get(event.query_id)
+            if span is not None:
+                span["sched"] = event.attrs
+        elif event.kind == "query.finish":
+            span = spans.get(event.query_id)
+            if span is not None:
+                span["finish"] = event.attrs
+    for query_id, span in spans.items():
+        finish = span.get("finish")
+        if finish is None:
+            continue  # still-streaming span: nothing to replay
+        start = span["start"]
+        if "sql" not in start:
+            raise ReproError(
+                f"query span {query_id} has no statement text; only "
+                "workloads driven through the session layer (SQL text) "
+                "can be captured for replay"
+            )
+        statement = CapturedStatement(
+            sql=start["sql"],
+            params=dict(start["params"]) if start.get("params") else None,
+            options=start.get("options"),
+            cold=bool(start.get("cold", False)),
+            rows=int(finish.get("rows", 0)),
+            ledger=finish["ledger"],
+            query_id=query_id,
+        )
+        sched = span.get("sched")
+        if sched is None:
+            run.seeds.append(statement)
+            continue
+        statement.client = sched.get("client", "")
+        statement.label = sched.get("label", "")
+        queue = run.clients.setdefault(statement.client, [])
+        queue.append(statement)
+        run.weights.setdefault(statement.client,
+                               int(sched.get("weight", 1)))
+    return run
+
+
+@dataclass
+class WorkloadTrace:
+    """A full capture: database setup recipe + the runs, serializable.
+
+    ``setup`` names how to rebuild the database the workload ran
+    against; the replayer understands ``{"workload": "micro",
+    "num_tuples": N, "seed": S}`` (the micro-benchmark table with its
+    ``c1``/``c2`` indexes, plus a catalog ``analyze``).
+    """
+
+    setup: dict
+    runs: list[CapturedRun] = field(default_factory=list)
+
+    def add_run(self, run: CapturedRun) -> "WorkloadTrace":
+        self.runs.append(run)
+        return self
+
+    @property
+    def statement_count(self) -> int:
+        return sum(run.statement_count for run in self.runs)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "setup": self.setup,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: sorted keys, 2-space indent."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadTrace":
+        schema = data.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ReproError(
+                f"unsupported trace schema {schema!r} "
+                f"(expected {TRACE_SCHEMA!r})"
+            )
+        return cls(
+            setup=data["setup"],
+            runs=[CapturedRun.from_dict(r) for r in data["runs"]],
+        )
+
+    @classmethod
+    def load(cls, path) -> "WorkloadTrace":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,199 @@
+"""The metrics registry: counters, gauges, nearest-rank histograms.
+
+Metrics are *derived* from the trace-event stream — the tracer feeds
+every emitted event through :meth:`MetricsRegistry.observe_event` — so
+the registry can never disagree with the events the history store
+persists.  Histograms reuse the repo's single percentile definition
+(:func:`~repro.exec.scheduler.nearest_rank_ms`, the same nearest-rank
+machinery the SLA/latency reports are built on): deterministic, no
+interpolation.
+
+The text exposition (:meth:`MetricsRegistry.exposition`) is
+deterministic by construction — metrics sorted by name, floats via
+``repr`` — so the REPL's ``\\metrics`` meta and CI transcripts can be
+compared byte-for-byte across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _fmt(value: float) -> str:
+    """Deterministic number formatting: ints bare, floats via repr."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass
+class Counter:
+    """A monotonically-increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """A sample set summarized by nearest-rank percentiles.
+
+    Keeps the raw observations (workloads here are thousands of
+    queries, not millions) so every percentile is exact — the same
+    discipline as :class:`~repro.exec.scheduler.WorkloadReport`.
+    """
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def percentile(self, pct: float) -> float:
+        # Deferred import: the scheduler module sits above the runtime,
+        # which owns the tracer that owns this registry.
+        from repro.exec.scheduler import nearest_rank_ms
+        return nearest_rank_ms(self.samples, pct)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name → metric, with event-driven updates and text exposition."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- event-driven updates ----------------------------------------------
+
+    def observe_event(self, event) -> None:
+        """Fold one :class:`~repro.telemetry.tracer.TraceEvent` in.
+
+        The kind → metric mapping in one place, so every emission site
+        stays a bare ``emit()`` call.
+        """
+        kind = event.kind
+        self.counter("events_total").inc()
+        if kind == "query.finish":
+            attrs = event.attrs
+            self.counter("queries_total").inc()
+            self.counter("rows_produced_total").inc(attrs.get("rows", 0))
+            self.counter("pages_read_total").inc(
+                attrs.get("pages_read", 0))
+            self.counter("buffer_hits_total").inc(
+                attrs.get("buffer_hits", 0))
+            self.counter("buffer_misses_total").inc(
+                attrs.get("buffer_misses", 0))
+            if attrs.get("partial"):
+                self.counter("queries_partial_total").inc()
+            self.histogram("query_io_ms").observe(attrs.get("io_ms", 0.0))
+            self.histogram("query_cpu_ms").observe(attrs.get("cpu_ms", 0.0))
+        elif kind.startswith("plan_cache."):
+            outcome = kind.split(".", 1)[1]
+            plural = "misses" if outcome == "miss" else f"{outcome}s"
+            self.counter(f"plan_cache_{plural}_total").inc()
+        elif kind == "morph.trigger":
+            self.counter("morph_triggers_total").inc()
+        elif kind == "morph.flatten":
+            self.counter("morph_flattenings_total").inc()
+        elif kind == "morph.finish":
+            self.counter("smooth_scans_total").inc()
+            self.histogram("smooth_scan_pages").observe(
+                event.attrs.get("pages_fetched", 0))
+        elif kind == "sched.grant":
+            self.counter("sched_grants_total").inc()
+        elif kind == "sched.finish":
+            self.histogram("sched_latency_ms").observe(event.value)
+        elif kind.startswith("admission."):
+            verdict = kind.split(".", 1)[1]
+            self.counter(f"admission_{verdict}s_total").inc()
+            if verdict == "dequeue":
+                self.histogram("admission_queue_wait_ms").observe(
+                    event.value)
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the server ``stats`` frame ships this)."""
+        return {
+            "counters": {name: c.value for name, c
+                         in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g
+                       in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h
+                           in sorted(self._histograms.items())},
+        }
+
+    def exposition(self) -> str:
+        """The deterministic text format (``\\metrics``, artifacts).
+
+        One line per metric, ``<type> <name> <fields>``, sorted by name
+        within each type — byte-stable across identical runs.
+        """
+        lines = ["# repro telemetry metrics v1"]
+        for name in sorted(self._counters):
+            lines.append(f"counter {name} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            lines.append(f"gauge {name} {_fmt(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            s = self._histograms[name].summary()
+            lines.append(
+                f"histogram {name} count={s['count']} "
+                f"sum={_fmt(s['sum'])} p50={_fmt(s['p50'])} "
+                f"p99={_fmt(s['p99'])}"
+            )
+        return "\n".join(lines)

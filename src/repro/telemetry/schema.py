@@ -1,0 +1,72 @@
+"""Relational schemas for the self-hosted telemetry warehouse.
+
+The history store eats its own dog food: telemetry lands in ordinary
+engine tables (heap files behind the buffer pool, a B-tree index on
+``query_id``) inside a dedicated warehouse :class:`~repro.database.Database`,
+so every rollup is a plain SQL query through the repo's own front end.
+
+Two tables:
+
+* ``telemetry_queries`` — one row per finished query span, the flattened
+  per-query :class:`~repro.runtime.CostLedger` plus identity (client,
+  label) and timing.  This is the table the rollups aggregate.
+* ``telemetry_events`` — one row per raw trace event, the full stream in
+  sequence order for drill-down.
+
+Strings are fixed-width ``CHAR`` (the engine's only string type);
+booleans are 0/1 INTs.  ``bin`` is the time-rollup key, assigned at
+ingest: ``floor(ts_ms / bin_ms)``.
+"""
+
+from __future__ import annotations
+
+from repro.storage.types import Column, ColumnType, Schema
+
+#: Table names in the warehouse database.
+QUERIES_TABLE = "telemetry_queries"
+EVENTS_TABLE = "telemetry_events"
+
+#: Fixed widths for the CHAR columns (generous for this repo's labels).
+CLIENT_CHARS = 16
+LABEL_CHARS = 24
+KIND_CHARS = 24
+
+#: Default rollup bin width in simulated milliseconds.
+DEFAULT_BIN_MS = 1000.0
+
+
+def queries_schema() -> Schema:
+    """One row per finished query span (ledger + identity + timing)."""
+    return Schema([
+        Column("run_id", ColumnType.INT),
+        Column("query_id", ColumnType.INT),
+        Column("client", ColumnType.CHAR, CLIENT_CHARS),
+        Column("label", ColumnType.CHAR, LABEL_CHARS),
+        Column("cold", ColumnType.INT),
+        Column("partial", ColumnType.INT),
+        Column("rows_out", ColumnType.INT),
+        Column("io_ms", ColumnType.FLOAT),
+        Column("cpu_ms", ColumnType.FLOAT),
+        Column("total_ms", ColumnType.FLOAT),
+        Column("pages_read", ColumnType.INT),
+        Column("seq_pages", ColumnType.INT),
+        Column("rand_pages", ColumnType.INT),
+        Column("buffer_hits", ColumnType.INT),
+        Column("buffer_misses", ColumnType.INT),
+        Column("start_ms", ColumnType.FLOAT),
+        Column("finish_ms", ColumnType.FLOAT),
+        Column("bin", ColumnType.INT),
+    ])
+
+
+def events_schema() -> Schema:
+    """One row per raw trace event, in emission order."""
+    return Schema([
+        Column("run_id", ColumnType.INT),
+        Column("seq", ColumnType.INT),
+        Column("query_id", ColumnType.INT),
+        Column("kind", ColumnType.CHAR, KIND_CHARS),
+        Column("ts_ms", ColumnType.FLOAT),
+        Column("value", ColumnType.FLOAT),
+        Column("bin", ColumnType.INT),
+    ])

@@ -302,3 +302,103 @@ def test_degraded_statements_share_one_connection(db):
     assert front.admission.stats.degraded == 2
     conn = front.degraded_connection("micro")
     assert front.degraded_connection("micro") is conn
+
+
+def test_closed_connection_answers_interface_on_every_frame_type(db):
+    """Satellite guarantee: session-layer misuse surfaces as the
+    structured ``interface`` code for every request op — a client
+    racing a connection close never sees ``internal``."""
+    front = make_front(db)
+    session = front.session()
+    prepared = one(session.handle({"op": "prepare", "id": 1, "sql": SQL}))
+    executing = session.handle({"op": "execute", "id": 2, "sql": SQL,
+                                "params": {"lo": 0, "hi": 100}})[0]
+    cid = executing["cursor"]
+    session.conn.close()  # the engine connection dies under the session
+    for rid, frame in enumerate((
+        {"op": "prepare", "id": 10, "sql": SQL},
+        {"op": "execute", "id": 11, "sql": SQL,
+         "params": {"lo": 0, "hi": 100}},
+        {"op": "execute", "id": 12, "statement": prepared["statement"],
+         "params": {"lo": 0, "hi": 100}},
+        {"op": "query", "id": 13, "sql": SQL,
+         "params": {"lo": 0, "hi": 100}},
+        {"op": "fetch", "id": 14, "cursor": cid},
+    )):
+        response = one(session.handle(frame))
+        assert response["op"] == "error", frame
+        assert response["code"] == protocol.ERR_INTERFACE, frame
+        assert "closed" in response["message"], frame
+    # The session itself survives: stats still answers.
+    assert one(session.handle({"op": "stats", "id": 20}))["op"] == "stats"
+
+
+def test_closed_cursor_fetch_is_an_interface_error(db):
+    front = make_front(db)
+    session = front.session()
+    executing = session.handle({"op": "execute", "id": 1, "sql": SQL,
+                                "params": {"lo": 0, "hi": 100}})[0]
+    cid = executing["cursor"]
+    state = session._cursors[cid]
+    state.cursor.close()  # underlying cursor dies, handle still live
+    response = one(session.handle({"op": "fetch", "id": 2,
+                                   "cursor": cid}))
+    assert response["op"] == "error"
+    assert response["code"] == protocol.ERR_INTERFACE
+
+
+def test_stats_frame_carries_telemetry_and_plan_cache_gauges(db):
+    db.tracer.enable()
+    front = make_front(db)
+    session = front.session()
+    session.handle({"op": "query", "id": 1, "sql": SQL,
+                    "params": {"lo": 0, "hi": 100}})
+    stats = one(session.handle({"op": "stats", "id": 2}))
+    telemetry = stats["telemetry"]
+    assert telemetry["enabled"] is True
+    assert telemetry["events_buffered"] > 0
+    counters = telemetry["metrics"]["counters"]
+    assert counters["queries_total"] == 1
+    assert counters["admission_admits_total"] == 1
+    gauges = telemetry["metrics"]["gauges"]
+    # One source of truth: the gauges mirror PlanCache.stats_dict().
+    for name, value in db.plan_cache.stats_dict().items():
+        assert gauges[f"plan_cache_{name}"] == value
+
+
+def test_admission_events_attribute_client_and_query_span(db):
+    db.tracer.enable()
+    front = make_front(db)
+    session = front.session()
+    session.handle({"op": "query", "id": 1, "sql": SQL,
+                    "params": {"lo": 0, "hi": 50}})
+    session.handle({"op": "query", "id": 2, "sql": SQL,
+                    "params": {"lo": 0, "hi": 9_000}})  # drifted: degrades
+    events = db.tracer.drain()
+    admit = next(e for e in events if e.kind == "admission.admit")
+    degrade = next(e for e in events if e.kind == "admission.degrade")
+    assert admit.attrs["action"] == "admit"
+    assert degrade.attrs["action"] == "degrade"
+    for event in (admit, degrade):
+        assert event.query_id >= 0
+        start = next(e for e in events
+                     if e.kind == "query.start"
+                     and e.query_id == event.query_id)
+        assert start.attrs["client"] == f"session-{session.id}"
+        assert start.attrs["sql"] == SQL
+
+
+def test_rejected_statement_emits_a_priced_trace_event(db):
+    db.tracer.enable()
+    front = make_front(db)
+    session = front.session()
+    error = one(session.handle(
+        {"op": "query", "id": 1,
+         "sql": "SELECT /*+ force_path(index) */ * FROM micro "
+                "WHERE c2 < 50000"}))
+    assert (error["op"], error["code"]) == ("error", "rejected")
+    reject = next(e for e in db.tracer.drain()
+                  if e.kind == "admission.reject")
+    assert reject.attrs["action"] == "reject"
+    assert reject.value == reject.attrs["estimated_cost"]
+    assert reject.attrs["estimated_cost"] > reject.attrs["budget"]

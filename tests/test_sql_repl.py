@@ -183,3 +183,31 @@ def test_clients_meta_rejects_bad_input(db):
     assert "no statement to replay" in output
     assert "takes a client count" in output
     assert "between 1 and 32" in output
+
+
+def test_metrics_meta_prints_deterministic_exposition():
+    # A private database: the module fixture's tracer state is shared
+    # across tests, this assertion wants exact counter values.
+    database = Database()
+    database.load_table(
+        "nums", Schema.of_ints(["a", "b"]),
+        [(i, (i * 13) % 50) for i in range(3_000)],
+    )
+    database.create_index("nums", "b")
+    database.analyze()
+    script = ("SELECT count(*) AS n FROM nums WHERE b < 10;\n"
+              "SELECT count(*) AS n FROM nums WHERE b < 10;\n"
+              "\\metrics\n")
+    output = run_session(database, script)
+    assert "# repro telemetry metrics v1" in output
+    assert "counter queries_total 2" in output
+    assert "counter plan_cache_hits_total 1" in output
+    assert "counter plan_cache_misses_total 1" in output
+    # Plan-cache gauges fold in from the same structured stats dict.
+    assert "gauge plan_cache_entries 1" in output
+    assert "histogram query_io_ms count=2" in output
+
+
+def test_metrics_meta_listed_in_help(db):
+    output = run_session(db, "\\help\n")
+    assert "\\metrics" in output

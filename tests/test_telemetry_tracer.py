@@ -1,0 +1,203 @@
+"""The trace layer: zero simulated cost, correct spans, live metrics."""
+
+import pytest
+
+from repro.database import Database
+from repro.optimizer.planner import PlannerOptions
+from repro.workloads.micro import build_micro_table
+
+NUM_TUPLES = 12_000
+
+SQL = "SELECT c1, c2 FROM micro WHERE c2 >= :lo AND c2 < :hi"
+
+SMOOTH = PlannerOptions(enable_sort_scan=False, enable_smooth=True)
+
+
+def make_db():
+    db = Database()
+    build_micro_table(db, num_tuples=NUM_TUPLES, seed=7)
+    db.analyze()
+    return db
+
+
+def run_workload(db):
+    conn = db.connect(options=SMOOTH, cold=False)
+    first = conn.run(SQL, {"lo": 0, "hi": 5_000}, cold=True,
+                     keep_rows=False)
+    second = conn.run(SQL, {"lo": 0, "hi": 20_000}, cold=True,
+                      keep_rows=False)
+    return first, second
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+def test_tracer_disabled_by_default_and_emit_is_noop():
+    db = make_db()
+    assert db.tracer.enabled is False
+    run_workload(db)
+    db.tracer.emit("anything", value=1.0)
+    assert db.tracer.events == []
+    assert db.tracer.metrics.counter("events_total").value == 0
+
+
+def test_tracing_charges_zero_simulated_cost():
+    """The headline invariant: traced and untraced runs measure alike.
+
+    Two identically-built databases run the identical workload; the one
+    difference is tracing.  Every measured number — simulated times,
+    I/O accounting, buffer behavior, the shared clock itself — must be
+    bitwise equal.
+    """
+    plain_db, traced_db = make_db(), make_db()
+    traced_db.tracer.enable()
+    plain = run_workload(plain_db)
+    traced = run_workload(traced_db)
+    for p, t in zip(plain, traced):
+        assert p.run.io_ms == t.run.io_ms
+        assert p.run.cpu_ms == t.run.cpu_ms
+        assert p.run.disk == t.run.disk
+        assert p.run.buffer_hits == t.run.buffer_hits
+        assert p.run.buffer_misses == t.run.buffer_misses
+        assert p.row_count == t.row_count
+    assert plain_db.runtime.clock.total_ms == traced_db.runtime.clock.total_ms
+    # ...and the traced run actually recorded something.
+    assert len(traced_db.tracer.events) > 0
+
+
+def test_query_span_carries_statement_and_ledger():
+    db = make_db()
+    db.tracer.enable()
+    result, _ = run_workload(db)
+    events = db.tracer.drain()
+    starts = [e for e in events if e.kind == "query.start"]
+    finishes = [e for e in events if e.kind == "query.finish"]
+    assert len(starts) == len(finishes) == 2
+    start, finish = starts[0], finishes[0]
+    assert start.query_id == finish.query_id
+    assert start.attrs["sql"] == SQL
+    assert start.attrs["params"] == {"lo": 0, "hi": 5_000}
+    assert start.attrs["cold"] is True
+    assert start.attrs["options"]["enable_smooth"] is True
+    assert finish.attrs["rows"] == result.row_count
+    assert finish.attrs["partial"] is False
+    assert finish.attrs["io_ms"] == result.run.io_ms
+    assert finish.attrs["ledger"]["disk"]["pages_read"] \
+        == result.run.disk.pages_read
+
+
+def test_smooth_scan_emits_morph_events_attributed_to_the_span():
+    db = make_db()
+    db.tracer.enable()
+    conn = db.connect(options=SMOOTH, cold=False)
+    conn.run(SQL, {"lo": 0, "hi": 50_000}, cold=True, keep_rows=False)
+    events = db.tracer.drain()
+    qid = next(e.query_id for e in events if e.kind == "query.start")
+    morph = [e for e in events if e.kind.startswith("morph.")]
+    assert [e.kind for e in morph][0] == "morph.start"
+    assert "morph.finish" in [e.kind for e in morph]
+    assert all(e.query_id == qid for e in morph)
+    finish = next(e for e in morph if e.kind == "morph.finish")
+    assert finish.attrs["pages_fetched"] > 0
+
+
+def test_plan_cache_events_hit_miss_invalidation():
+    db = make_db()
+    db.tracer.enable()
+    conn = db.connect(options=SMOOTH, cold=False)
+    conn.run(SQL, {"lo": 0, "hi": 100}, cold=True, keep_rows=False)
+    conn.run(SQL, {"lo": 0, "hi": 200}, cold=True, keep_rows=False)
+    db.analyze()  # bumps the catalog version: cached plans die
+    conn.run(SQL, {"lo": 0, "hi": 300}, cold=True, keep_rows=False)
+    cache_kinds = [k for k in kinds(db.tracer.drain())
+                   if k.startswith("plan_cache.")]
+    assert cache_kinds == ["plan_cache.miss", "plan_cache.hit",
+                           "plan_cache.invalidation", "plan_cache.miss"]
+    counters = db.tracer.metrics
+    assert counters.counter("plan_cache_misses_total").value == 2
+    assert counters.counter("plan_cache_hits_total").value == 1
+    assert counters.counter("plan_cache_invalidations_total").value == 1
+
+
+def test_note_client_attributes_next_span():
+    db = make_db()
+    db.tracer.enable()
+    db.tracer.note_client("session-7")
+    conn = db.connect(options=SMOOTH, cold=False)
+    conn.run(SQL, {"lo": 0, "hi": 100}, cold=True, keep_rows=False)
+    start = next(e for e in db.tracer.drain()
+                 if e.kind == "query.start")
+    assert start.attrs["client"] == "session-7"
+
+
+def test_drain_clears_and_disable_resets_pending():
+    db = make_db()
+    tracer = db.tracer
+    tracer.enable()
+    tracer.note_statement(SQL, None, None, cold=True)
+    tracer.note_client("x")
+    tracer.emit("touch")
+    assert len(tracer.events) == 1
+    assert tracer.drain() != []
+    assert tracer.events == []
+    tracer.disable()
+    assert tracer._pending_statement is None
+    assert tracer._pending_client is None
+    assert tracer.current_query_id == -1
+    tracer.enable()
+    conn = db.connect(options=SMOOTH, cold=False)
+    conn.run(SQL, {"lo": 0, "hi": 100}, cold=True, keep_rows=False)
+    start = next(e for e in tracer.drain() if e.kind == "query.start")
+    assert "client" not in start.attrs  # the noted client did not leak
+
+
+def test_metrics_follow_events_and_exposition_is_deterministic():
+    texts = []
+    for _ in range(2):
+        db = make_db()
+        db.tracer.enable()
+        run_workload(db)
+        metrics = db.tracer.metrics
+        assert metrics.counter("queries_total").value == 2
+        assert metrics.histogram("query_io_ms").count == 2
+        texts.append(metrics.exposition())
+    assert texts[0] == texts[1]
+    assert texts[0].startswith("# repro telemetry metrics v1")
+    assert "counter queries_total 2" in texts[0]
+
+
+def test_plan_cache_stats_dict_is_the_single_source_of_truth():
+    db = make_db()
+    conn = db.connect(options=SMOOTH, cold=False)
+    conn.run(SQL, {"lo": 0, "hi": 100}, cold=True, keep_rows=False)
+    conn.run(SQL, {"lo": 0, "hi": 200}, cold=True, keep_rows=False)
+    stats = db.plan_cache.stats_dict()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["lookups"] == 2
+    assert set(stats) == {"entries", "capacity", "hits", "misses",
+                          "invalidations", "evictions", "lookups"}
+    # EXPLAIN's plan-cache line formats from the same dict (the EXPLAIN
+    # text is its own cache key, so this lookup is one more miss).
+    cursor = conn.cursor().execute("EXPLAIN " + SQL, {"lo": 0, "hi": 100})
+    line = cursor.fetchall()[-1][0]
+    assert line == (
+        f"plan cache: miss (hits={stats['hits']} "
+        f"misses={stats['misses'] + 1} "
+        f"invalidations={stats['invalidations']})"
+    )
+
+
+def test_partial_span_closes_on_cursor_close():
+    db = make_db()
+    db.tracer.enable()
+    conn = db.connect(options=SMOOTH, cold=False)
+    cursor = conn.cursor().execute(SQL, {"lo": 0, "hi": 90_000})
+    cursor.fetchmany(10)
+    cursor.close()
+    finish = next(e for e in db.tracer.drain()
+                  if e.kind == "query.finish")
+    assert finish.attrs["partial"] is True
+    assert finish.attrs["rows"] >= 10

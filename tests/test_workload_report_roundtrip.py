@@ -1,0 +1,65 @@
+"""WorkloadReport serialization: summary stays frozen, detail round-trips."""
+
+import json
+
+import pytest
+
+from repro.database import Database
+from repro.errors import ExecutionError
+from repro.exec.scheduler import CooperativeScheduler, WorkloadReport
+from repro.optimizer.planner import PlannerOptions
+from repro.workloads.micro import build_micro_table
+
+SQL = "SELECT c1, c2 FROM micro WHERE c2 >= :lo AND c2 < :hi"
+
+SMOOTH = PlannerOptions(enable_sort_scan=False, enable_smooth=True)
+
+
+@pytest.fixture()
+def report():
+    db = Database()
+    build_micro_table(db, num_tuples=2_000, seed=42)
+    db.analyze()
+    conn = db.connect(options=SMOOTH, cold=False)
+    statement = conn.prepare(SQL)
+    scheduler = CooperativeScheduler(db)
+    for i in range(2):
+        client = scheduler.client(f"c{i + 1}")
+        for hi in (20_000, 60_000):
+            client.add_query(
+                "q",
+                lambda s=statement, p={"lo": 0, "hi": hi}: s.execute(p),
+            )
+    return scheduler.run(cold=True, interleave=True)
+
+
+def test_default_to_json_is_the_summary_schema(report):
+    data = json.loads(report.to_json())
+    assert data["schema"] == "workload-report/v1"
+    assert data == report.summary_dict()
+    # No detail keys leak into the frozen artifact shape.
+    assert "records" not in data
+
+
+def test_detail_round_trip_reproduces_everything(report):
+    blob = report.to_json(detail=True)
+    loaded = WorkloadReport.from_detail_dict(json.loads(blob))
+    assert len(loaded.records) == len(report.records)
+    for a, b in zip(loaded.records, report.records):
+        assert a.client == b.client
+        assert a.label == b.label
+        assert a.rows == b.rows
+        assert a.start_ms == b.start_ms
+        assert a.finish_ms == b.finish_ms
+        assert a.ledger.to_dict() == b.ledger.to_dict()
+    # Percentiles are recomputed, not stored — and land identical.
+    assert loaded.summary_dict() == report.summary_dict()
+    assert loaded.total_ledger().to_dict() == report.total_ledger().to_dict()
+    # A second serialization round is byte-stable.
+    assert loaded.to_json(detail=True) == blob
+
+
+def test_detail_schema_is_checked():
+    with pytest.raises(ExecutionError, match="unsupported workload-report"):
+        WorkloadReport.from_detail_dict({"schema": "workload-report/v1",
+                                         "records": []})
