@@ -32,5 +32,5 @@ def test_fig04_execution_breakdown(benchmark, tuned_tpch, report):
     assert time_of("Q1", "pSQL+SmoothScan") < 1.6 * time_of("Q1", "pSQL")
     assert time_of("Q4", "pSQL+SmoothScan") < 1.3 * time_of("Q4", "pSQL")
     # Breakdown sums to the total.
-    for key, d in result.data.items():
+    for _key, d in result.data.items():
         assert d.total_s == pytest.approx(d.cpu_s + d.io_wait_s)

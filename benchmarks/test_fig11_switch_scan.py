@@ -17,7 +17,7 @@ def test_fig11_cliff(benchmark, micro_bench_setup, report):
 
     sel = result.selectivities_pct
     # The switch decision flips exactly once along the sweep.
-    flips = sum(1 for a, b in zip(result.switched, result.switched[1:])
+    flips = sum(1 for a, b in zip(result.switched, result.switched[1:], strict=False)
                 if a != b)
     assert flips == 1
     first_switch = result.switched.index(True)
@@ -29,6 +29,6 @@ def test_fig11_cliff(benchmark, micro_bench_setup, report):
     assert result.seconds["switch"][i100] < 2 * result.seconds["full"][i100]
     # ...while Smooth Scan never exhibits a comparable jump.
     smooth = result.seconds["smooth"]
-    for a, b in zip(smooth, smooth[1:]):
+    for a, b in zip(smooth, smooth[1:], strict=False):
         if a > 1e-6:
             assert b < a * 20  # no order-of-magnitude cliffs

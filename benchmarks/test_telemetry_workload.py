@@ -46,7 +46,7 @@ def test_telemetry_workload(benchmark, report):
 
     # The warehouse holds both series (plus their seed runs) and its
     # totals are queryable per run id.
-    for name, run_id in RUN_IDS.items():
+    for _name, run_id in RUN_IDS.items():
         assert totals(result.store, run_id=run_id)["queries"] == queries
 
     # Replaying the trace file reproduces every per-query ledger.

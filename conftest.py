@@ -1,0 +1,93 @@
+"""Repo-root pytest wiring for the opt-in runtime sanitizers.
+
+``pytest --sanitize=ledger`` arms a
+:class:`~repro.analysis.sanitizers.LedgerSanitizer` on every
+:class:`~repro.runtime.EngineRuntime` constructed during each test, and
+fails the test if any simulated charge or integer-counter bump landed
+outside an attribution window (after the first window armed it).
+``--sanitize=determinism`` unlocks the double-run determinism tests in
+``tests/test_analysis_sanitizers.py``; ``--sanitize=all`` is both.  CI
+runs a tier-1 subset with ``--sanitize=all``; the plain suite is
+unaffected.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `pytest` work without PYTHONPATH=src (CI still sets it).
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store", default="", metavar="MODES",
+        help="arm runtime sanitizers: comma list of "
+             "'ledger', 'determinism', or 'all'",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_suite_sanitizer: test manages its own sanitizers (or plants "
+        "deliberate violations); exempt from --sanitize=ledger arming",
+    )
+
+
+def sanitize_modes(config) -> set:
+    """The armed sanitizer modes, with 'all' expanded."""
+    raw = config.getoption("--sanitize")
+    modes = {m.strip() for m in raw.split(",") if m.strip()}
+    if "all" in modes:
+        modes |= {"ledger", "determinism"}
+    return modes
+
+
+@pytest.fixture
+def sanitizers_enabled(request) -> set:
+    """Which sanitizer modes this run armed (may be empty)."""
+    return sanitize_modes(request.config)
+
+
+@pytest.fixture(autouse=True)
+def _ledger_sanitizer(request):
+    """Under ``--sanitize=ledger``: every runtime built during the test
+    gets a collecting sanitizer; violations fail the test at teardown."""
+    if ("ledger" not in sanitize_modes(request.config)
+            or request.node.get_closest_marker("no_suite_sanitizer")):
+        yield
+        return
+
+    from repro.analysis.sanitizers import LedgerSanitizer
+    from repro.runtime import EngineRuntime
+
+    installed = []
+    orig_init = EngineRuntime.__init__
+
+    def init(self, *args, **kwargs):
+        orig_init(self, *args, **kwargs)
+        installed.append(LedgerSanitizer(self, strict=False).install())
+
+    mp = pytest.MonkeyPatch()
+    mp.setattr(EngineRuntime, "__init__", init)
+    try:
+        yield
+    finally:
+        mp.undo()
+        for sanitizer in installed:
+            sanitizer.check()  # final counter sweep (non-strict: collects)
+            sanitizer.uninstall()
+        violations = [v for s in installed for v in s.violations]
+        if violations:
+            lines = "\n".join("  " + v.render() for v in violations)
+            pytest.fail(
+                f"LedgerSanitizer: {len(violations)} unattributed-cost "
+                f"violation(s):\n{lines}",
+                pytrace=False,
+            )

@@ -19,7 +19,7 @@ def main() -> None:
     db = Database()
     table = build_skew_table(db, num_tuples=600_000, sparse_fraction=2e-4)
     print(f"skew table: {table.row_count} rows over {table.num_pages} "
-          f"pages; query: c2 = 0 (dense head + sparse tail)\n")
+          "pages; query: c2 = 0 (dense head + sparse tail)\n")
 
     for policy in (SelectivityIncreasePolicy(), ElasticPolicy()):
         scan = SmoothScan(table, "c2", KeyRange.equal(0), policy=policy)

@@ -8,7 +8,7 @@ executes across the selectivity range and verifies the bound holds.
 Run:  python examples/sla_guarantee.py
 """
 
-from repro import Database, KeyRange, SLADrivenTrigger, SmoothScan
+from repro import Database, SLADrivenTrigger, SmoothScan
 from repro.bench.reporting import format_table
 from repro.bench.runner import run_cold
 from repro.costmodel import (
@@ -30,7 +30,7 @@ def main() -> None:
     print(f"cost model: full scan = {params.num_pages} I/O units; "
           f"SLA = 2 full scans = {sla_cost:.0f} units")
     print(f"derived trigger cardinality: {trigger} tuples "
-          f"(morph no later than this)\n")
+          "(morph no later than this)\n")
 
     # The executed bound includes per-tuple CPU the I/O model omits, so
     # express it against a measured full scan, as Figure 7b plots it.

@@ -1,0 +1,77 @@
+"""Invariant lint + runtime sanitizers for the cost/determinism rules.
+
+Every claim this reproduction makes — competitive ratios, the
+prepared-drift gap, byte-identical ``bench_results/`` artifacts — rests
+on invariants that used to be conventions: simulated costs flow only
+through the charge APIs, attribution windows always close, telemetry
+never charges, artifact-producing code is deterministic.  This package
+makes them *checkable*:
+
+* **Static lint** (``python -m repro.analysis`` or the ``repro-lint``
+  entry point): AST rules ``RPL101``-``RPL106`` over the whole tree,
+  with ``# repro: allow[RPLxxx] -- reason`` inline suppressions and
+  unused-suppression detection (``RPL100``).  See
+  :mod:`repro.analysis.builtin` for the rules and their rationales.
+* **Runtime sanitizers** (:mod:`repro.analysis.sanitizers`):
+  :class:`~repro.analysis.sanitizers.LedgerSanitizer` catches simulated
+  charges landing outside any attribution window (the
+  cooperative-scheduler analogue of a race detector), and
+  :class:`~repro.analysis.sanitizers.DeterminismSanitizer` hashes
+  event/artifact streams across a double run.  Both are opt-in under
+  pytest via ``--sanitize={ledger,determinism,all}``.
+
+Adding a rule
+-------------
+
+1. Pick the next free ``RPL1xx`` code.
+2. In :mod:`repro.analysis.builtin` (or your own module imported from
+   there), subclass :class:`~repro.analysis.rules.Rule`, set ``code``,
+   ``name`` and a ``rationale`` that explains the *discipline* (it is
+   what ``--explain`` prints — say why the invariant matters and what
+   the fix looks like), and implement ``check(unit, index)`` yielding
+   :class:`~repro.analysis.diagnostics.Diagnostic` objects (the
+   ``self.diag(unit, node, message)`` helper anchors one at an AST
+   node).  Decorate the class with
+   :func:`~repro.analysis.rules.register`.
+3. Cross-file facts (class hierarchies) come from the shared
+   :class:`~repro.analysis.rules.ProjectIndex` built before any rule
+   runs — extend it there rather than re-walking files per rule.
+4. Add one *good* and one *bad* golden fixture under
+   ``tests/analysis_fixtures/`` and a case in
+   ``tests/test_analysis_rules.py`` proving the rule fires (and stays
+   quiet) where intended; then run the linter over the repo and fix or
+   ``# repro: allow[...]`` every finding it surfaces — a rule that is
+   not clean over the tree does not ship.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Suppression
+from repro.analysis.engine import AnalysisResult, analyze
+from repro.analysis.rules import (
+    ModuleUnit,
+    ProjectIndex,
+    Rule,
+    all_rules,
+    register,
+)
+from repro.analysis.sanitizers import (
+    DeterminismSanitizer,
+    LedgerSanitizer,
+    SanitizerError,
+    SanitizerViolation,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Diagnostic",
+    "DeterminismSanitizer",
+    "LedgerSanitizer",
+    "ModuleUnit",
+    "ProjectIndex",
+    "Rule",
+    "SanitizerError",
+    "SanitizerViolation",
+    "Suppression",
+    "all_rules",
+    "analyze",
+    "register",
+]

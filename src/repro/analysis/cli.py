@@ -1,0 +1,121 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Usage::
+
+    python -m repro.analysis [paths ...]        # lint (default: src
+                                                #   tests benchmarks
+                                                #   examples, if present)
+    python -m repro.analysis --format json src  # machine-readable
+    python -m repro.analysis --explain RPL103   # rule rationale
+    python -m repro.analysis --list-rules       # one line per rule
+    python -m repro.analysis --select RPL101,RPL104 src
+
+Exit status: 0 clean, 1 diagnostics found (including unused
+suppressions), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import analyze
+from repro.analysis.rules import all_rules
+
+#: Paths linted when none are given (those that exist under cwd).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("Invariant linter for the cost/determinism "
+                     "disciplines (rules RPL101-RPL106)."),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: "
+             + " ".join(DEFAULT_PATHS) + ", where present)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RPLxxx",
+        help="print one rule's rationale and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None,
+         out=None) -> int:
+    """Entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}", file=out)
+        return 0
+
+    if args.explain:
+        for rule in rules:
+            if rule.code == args.explain:
+                print(f"{rule.code} ({rule.name})", file=out)
+                print(file=out)
+                print(textwrap.fill(rule.rationale, width=72), file=out)
+                return 0
+        print(f"unknown rule code: {args.explain}", file=out)
+        return 2
+
+    select = None
+    if args.select:
+        select = {c.strip() for c in args.select.split(",") if c.strip()}
+        known = {rule.code for rule in rules}
+        unknown = select - known
+        if unknown:
+            print("unknown rule code(s): "
+                  + ", ".join(sorted(unknown)), file=out)
+            return 2
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    if not paths:
+        print("no paths to lint (and no default directory exists here)",
+              file=out)
+        return 2
+
+    result = analyze(paths, select=select)
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        for diag in result.diagnostics:
+            print(diag.render(), file=out)
+        summary = (
+            f"{len(result.diagnostics)} finding(s) in "
+            f"{result.files_checked} file(s); "
+            f"{result.suppressions_used} suppression(s) in use"
+        )
+        print(("FAIL: " if result.diagnostics else "ok: ") + summary,
+              file=out)
+
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

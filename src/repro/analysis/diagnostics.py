@@ -1,0 +1,125 @@
+"""Diagnostics and inline suppressions for the invariant linter.
+
+A :class:`Diagnostic` is one finding: a rule code (``RPL1xx``), a
+file/line/column anchor and a one-line message.  Findings are
+suppressible *inline* — a ``# repro: allow[RPL101]`` comment on the
+flagged line (optionally with a reason after ``--``) silences matching
+codes on that line only — and every suppression must earn its keep: a
+suppression that silences nothing is itself reported as
+:data:`UNUSED_SUPPRESSION` (code ``RPL100``), so stale annotations
+cannot accumulate after the code they excused is fixed.
+
+Suppression syntax::
+
+    charge(x)  # repro: allow[RPL104] -- replaying a recorded charge
+    weird()    # repro: allow[RPL101,RPL102] -- seeded upstream
+
+    # repro: allow[RPL103] -- spans both methods; closed by close()
+    tracer.begin_query(cold)
+
+A comment alone on its line suppresses the *next* line instead (for
+annotations that would not fit beside the code).  The comment scanner
+runs on :mod:`tokenize` output, so suppressions inside string literals
+are never honoured.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Code reported for a suppression comment that silenced no diagnostic.
+UNUSED_SUPPRESSION = "RPL100"
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Z0-9,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location."""
+
+    file: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (``file:line:col: CODE msg``)."""
+        return f"{self.file}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape for ``--format json``."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str | None = None
+    #: Codes that actually silenced a diagnostic (filled by the engine).
+    used: set = field(default_factory=set)
+
+    def allows(self, code: str) -> bool:
+        """True when this suppression covers ``code``."""
+        return code in self.codes
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Extract ``# repro: allow[...]`` comments, keyed by line number.
+
+    A trailing comment suppresses its own line; a comment alone on its
+    line suppresses the line below it.  Only real comment tokens count —
+    the pattern appearing inside a string literal (e.g. in this linter's
+    own tests) is ignored.  Unparseable source yields no suppressions;
+    the engine reports the syntax error through other means.
+    """
+    out: dict[int, Suppression] = {}
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(
+                c.strip() for c in match.group("codes").split(",") if c.strip()
+            )
+            if not codes:
+                continue
+            row, col = tok.start
+            standalone = (row <= len(lines)
+                          and not lines[row - 1][:col].strip())
+            target = row
+            if standalone:
+                # Apply to the next code line, skipping continuation
+                # comments and blanks below the annotation.
+                target = row + 1
+                while (target <= len(lines)
+                       and (not lines[target - 1].strip()
+                            or lines[target - 1].lstrip().startswith("#"))):
+                    target += 1
+            out[target] = Suppression(
+                line=row,
+                codes=codes,
+                reason=match.group("reason"),
+            )
+    except tokenize.TokenizeError:
+        pass
+    return out

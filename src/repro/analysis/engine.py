@@ -1,0 +1,151 @@
+"""The analysis engine: discover, parse, index, check, suppress.
+
+Runs in two passes over the target files: pass one parses every module
+and feeds it to the shared :class:`~repro.analysis.rules.ProjectIndex`
+(cross-file class hierarchy, for RPL106); pass two runs every
+registered rule over every module, then filters the findings through
+inline ``# repro: allow[...]`` suppressions — marking each suppression
+that actually fired, so the leftovers can be reported as unused
+(``RPL100``).  Files that fail to parse yield a single ``RPL000``
+diagnostic instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    UNUSED_SUPPRESSION,
+    Diagnostic,
+    Suppression,
+    parse_suppressions,
+)
+from repro.analysis.rules import ModuleUnit, ProjectIndex, all_rules
+
+#: Code reported when a target file does not parse.
+PARSE_ERROR = "RPL000"
+
+#: Directory names never descended into.  ``analysis_fixtures`` holds
+#: the linter's own deliberately-bad test snippets.
+DEFAULT_EXCLUDES = frozenset({
+    "__pycache__", ".git", ".claude", "analysis_fixtures",
+    "bench_results", ".pytest_cache", "build", "dist",
+})
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressions_used: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was found (the CI gate)."""
+        return not self.diagnostics
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape for ``--format json``."""
+        return {
+            "files_checked": self.files_checked,
+            "suppressions_used": self.suppressions_used,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "clean": self.clean,
+        }
+
+
+def discover(paths: list[str],
+             excludes: frozenset = DEFAULT_EXCLUDES) -> list[Path]:
+    """Every ``.py`` file under ``paths``, exclusions applied, sorted."""
+    out: set = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+            continue
+        for sub in path.rglob("*.py"):
+            if not any(part in excludes for part in sub.parts):
+                out.add(sub)
+    return sorted(out)
+
+
+def _load(path: Path) -> tuple[ModuleUnit | None, Diagnostic | None]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            file=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code=PARSE_ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleUnit(
+        path=str(path),
+        posix=path.as_posix(),
+        tree=tree,
+        source=source,
+    ), None
+
+
+def analyze(paths: list[str], select: set | None = None,
+            excludes: frozenset = DEFAULT_EXCLUDES) -> AnalysisResult:
+    """Run every registered rule over every file under ``paths``.
+
+    ``select`` restricts checking to the given rule codes (suppression
+    accounting follows: an allow for an unselected code is not reported
+    as unused, since it never had the chance to fire).
+    """
+    result = AnalysisResult()
+    units: list[ModuleUnit] = []
+    suppressions: dict[str, dict[int, Suppression]] = {}
+    index = ProjectIndex()
+    for path in discover(paths, excludes):
+        unit, error = _load(path)
+        result.files_checked += 1
+        if error is not None:
+            result.diagnostics.append(error)
+            continue
+        units.append(unit)
+        suppressions[unit.path] = parse_suppressions(unit.source)
+        index.add_module(unit)
+
+    rules = [r for r in all_rules()
+             if select is None or r.code in select]
+    for unit in units:
+        file_suppressions = suppressions[unit.path]
+        for rule in rules:
+            for diag in rule.check(unit, index):
+                allow = file_suppressions.get(diag.line)
+                if allow is not None and allow.allows(diag.code):
+                    allow.used.add(diag.code)
+                else:
+                    result.diagnostics.append(diag)
+
+    checked_codes = {r.code for r in rules}
+    for unit in units:
+        for allow in suppressions[unit.path].values():
+            relevant = [c for c in allow.codes if c in checked_codes]
+            if not relevant:
+                continue
+            if allow.used:
+                result.suppressions_used += 1
+            unused = [c for c in relevant if c not in allow.used]
+            if unused:
+                result.diagnostics.append(Diagnostic(
+                    file=unit.path,
+                    line=allow.line,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=("unused suppression: no "
+                             f"{', '.join(unused)} diagnostic fires on "
+                             "this line — remove the stale allow"),
+                ))
+
+    result.diagnostics.sort(key=lambda d: (d.file, d.line, d.col, d.code))
+    return result

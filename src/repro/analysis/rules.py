@@ -1,0 +1,176 @@
+"""Rule protocol, registry and the shared project index.
+
+A rule is a class with a ``code`` (``RPL1xx``), a ``name``, a
+``rationale`` (shown by ``--explain``) and a ``check`` method that
+yields :class:`~repro.analysis.diagnostics.Diagnostic` objects for one
+parsed module.  Rules register themselves with :func:`register`; the
+engine instantiates every registered rule once per run and feeds each
+analyzed module through all of them.
+
+Two-pass analysis: before any rule runs, the engine builds a
+:class:`ProjectIndex` over *all* analyzed files (class hierarchy and
+method definitions), so rules that need cross-file facts — RPL106's
+"does this Operator subclass inherit a ``rows``/``batches``
+implementation from another module?" — see the whole tree, not one
+file at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file, as rules see it."""
+
+    #: Path as given on the command line (used in diagnostics).
+    path: str
+    #: Normalized posix-style path for allowlist suffix matching.
+    posix: str
+    tree: ast.Module
+    source: str
+
+    def match(self, *suffixes: str) -> bool:
+        """True when this module's path ends with any of ``suffixes``."""
+        return any(self.posix.endswith(s) for s in suffixes)
+
+    def in_dir(self, name: str) -> bool:
+        """True when ``name`` appears as a directory component."""
+        return name in PurePosixPath(self.posix).parts[:-1]
+
+
+@dataclass
+class ClassInfo:
+    """Cross-file view of one class definition (for RPL106)."""
+
+    name: str
+    module: str
+    line: int
+    bases: tuple[str, ...]
+    methods: frozenset
+    is_abstract: bool
+
+
+@dataclass
+class ProjectIndex:
+    """Facts collected over every analyzed file before rules run."""
+
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def add_module(self, unit: ModuleUnit) -> None:
+        """Harvest class definitions from one module."""
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                base.id if isinstance(base, ast.Name) else base.attr
+                for base in node.bases
+                if isinstance(base, (ast.Name, ast.Attribute))
+            )
+            methods = frozenset(
+                stmt.name for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            is_abstract = "ABC" in bases or any(
+                isinstance(d, ast.Name) and d.id == "abstractmethod"
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for d in stmt.decorator_list
+            )
+            # First definition wins; duplicates across files are rare
+            # enough (test helpers) that a name-keyed index suffices.
+            self.classes.setdefault(node.name, ClassInfo(
+                name=node.name,
+                module=unit.path,
+                line=node.lineno,
+                bases=bases,
+                methods=methods,
+                is_abstract=is_abstract,
+            ))
+
+    def derives_from(self, name: str, root: str) -> bool:
+        """True when class ``name`` transitively subclasses ``root``."""
+        seen = set()
+        stack = [name]
+        while stack:
+            cls = stack.pop()
+            if cls == root:
+                return True
+            if cls in seen:
+                continue
+            seen.add(cls)
+            info = self.classes.get(cls)
+            if info is not None:
+                stack.extend(info.bases)
+        return False
+
+    def inherited_methods(self, name: str, stop: str) -> set:
+        """All method names ``name`` defines or inherits, up to (and
+        excluding) class ``stop``."""
+        out: set = set()
+        seen = set()
+        stack = [name]
+        while stack:
+            cls = stack.pop()
+            if cls == stop or cls in seen:
+                continue
+            seen.add(cls)
+            info = self.classes.get(cls)
+            if info is None:
+                continue
+            out |= info.methods
+            stack.extend(info.bases)
+        return out
+
+
+class Rule(ABC):
+    """Base class for all lint rules."""
+
+    #: Diagnostic code, ``RPL1xx``.
+    code: str
+    #: Short kebab-ish identifier shown by ``--list-rules``.
+    name: str
+    #: The discipline this rule encodes, shown by ``--explain``.
+    rationale: str
+
+    @abstractmethod
+    def check(self, unit: ModuleUnit,
+              index: ProjectIndex) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one module."""
+
+    def diag(self, unit: ModuleUnit, node: ast.AST,
+             message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(
+            file=unit.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+#: All registered rules, keyed by code (insertion-ordered).
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    # Import for side effect: the built-in rules register on import.
+    import repro.analysis.builtin  # noqa: F401
+    return [REGISTRY[code]() for code in sorted(REGISTRY)]

@@ -182,7 +182,7 @@ def _as_ascending(direction: object) -> bool:
     if direction == "desc":
         return False
     raise PlanningError(
-        f"order direction must be a bool or 'asc'/'desc', "
+        "order direction must be a bool or 'asc'/'desc', "
         f"got {direction!r}"
     )
 

@@ -39,10 +39,10 @@ def format_table(headers: Sequence[str],
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=False)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths, strict=False)))
     return "\n".join(lines)
 
 
@@ -50,7 +50,7 @@ def format_series(name: str, xs: Sequence[object],
                   ys: Sequence[object]) -> str:
     """Render one figure series as ``name: (x, y) ...`` pairs."""
     pairs = ", ".join(
-        f"({format_value(x)}, {format_value(y)})" for x, y in zip(xs, ys)
+        f"({format_value(x)}, {format_value(y)})" for x, y in zip(xs, ys, strict=False)
     )
     return f"{name}: {pairs}"
 

@@ -286,7 +286,7 @@ class _VectorState:
                     ords_list.append(g)
             else:
                 cols = [chunk.column_values(p) for p in self.gpos]
-                for key in zip(*cols):
+                for key in zip(*cols, strict=False):
                     g = index.get(key)
                     if g is None:
                         g = len(index)
@@ -296,7 +296,7 @@ class _VectorState:
         capacity = len(index)
         for st in self.specs:
             st.ensure(capacity)
-        for st, values in zip(self.specs, fetched):
+        for st, values in zip(self.specs, fetched, strict=False):
             st.apply(ords, values)
         return True
 
@@ -383,7 +383,7 @@ class HashAggregate(Operator):
             if accs is None:
                 accs = [_Accumulator(s.func) for s in self.aggs]
                 groups[key] = accs
-            for acc, getter in zip(accs, self._getters):
+            for acc, getter in zip(accs, self._getters, strict=False):
                 acc.add(getter(row) if getter is not None else 1)
         yield from self._results(ctx, groups)
 
@@ -411,7 +411,7 @@ class HashAggregate(Operator):
                 if accs is None:
                     accs = [_Accumulator(s.func) for s in self.aggs]
                     groups[key] = accs
-                for acc, getter in zip(accs, getters):
+                for acc, getter in zip(accs, getters, strict=False):
                     acc.add(getter(row) if getter is not None else 1)
         if vstate is not None:
             out = list(self._vector_results(ctx, vstate))

@@ -548,7 +548,7 @@ class StringMatch(Predicate):
     def __post_init__(self) -> None:
         if self.kind not in ("prefix", "suffix", "contains"):
             raise PlanningError(
-                f"StringMatch kind must be prefix/suffix/contains, "
+                "StringMatch kind must be prefix/suffix/contains, "
                 f"got {self.kind!r}"
             )
 
@@ -628,7 +628,7 @@ class ColumnComparison(Predicate):
             lvals = chunk.column_values(li)
             rvals = chunk.column_values(ri)
             return mask_from_bools(
-                (fn(a, b) for a, b in zip(lvals, rvals)), len(lvals)
+                (fn(a, b) for a, b in zip(lvals, rvals, strict=False)), len(lvals)
             )
 
         return mask_of

@@ -139,7 +139,7 @@ class HashJoin(Operator):
                 continue
             out = []
             if keys is not None:
-                pairs = zip(batch.to_rows(), keys)
+                pairs = zip(batch.to_rows(), keys, strict=False)
                 lookups = ((row, get((k,))) for row, k in pairs)
             else:
                 lookups = ((row, get(tuple(row[p] for p in lpos)))
@@ -167,7 +167,8 @@ class HashJoin(Operator):
         for batch in self.right.batches(ctx):
             ctx.charge_hash(len(batch))
             if single and isinstance(batch, Chunk):
-                for k, row in zip(batch.column_values(rp0), batch.to_rows()):
+                for k, row in zip(batch.column_values(rp0),
+                                  batch.to_rows(), strict=False):
                     table.setdefault((k,), []).append(row)
             else:
                 for row in batch:

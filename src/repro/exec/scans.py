@@ -220,7 +220,9 @@ class SortScan(Operator):
         starts = _np.concatenate(([0], bounds))
         ends = _np.concatenate((bounds, [len(codes)]))
         page_ids = pages_arr[starts].tolist()
-        spans = dict(zip(page_ids, zip(starts.tolist(), ends.tolist())))
+        spans = dict(zip(page_ids,
+                         zip(starts.tolist(), ends.tolist(), strict=False),
+                         strict=False))
         matches = self.residual.bind(self.schema)
         for run_start, run_len in _contiguous_runs(page_ids):
             # Candidates per run: spans are contiguous in code space.

@@ -140,6 +140,8 @@ class StreamingRun:
         self._runtime.register_stream(self)
         # Open the telemetry query span (-1 while tracing is off); any
         # statement context the session layer noted attaches here.
+        # repro: allow[RPL103] -- cross-method span: _finish_span() closes
+        # it from next_batch()/close(), whichever ends the run
         self._query_id = self._runtime.tracer.begin_query(cold)
         self._span_closed = False
 
@@ -165,19 +167,20 @@ class StreamingRun:
         if tracer.enabled:
             # Operators emitting mid-pull (morph events) attribute here.
             tracer.current_query_id = self._query_id
-        self._runtime.begin_attribution(self.ledger)
         try:
-            batch = next(self._batches, None)
+            self._runtime.begin_attribution(self.ledger)
+            try:
+                batch = next(self._batches, None)
+            finally:
+                self._runtime.end_attribution()
         except BaseException as exc:
             # The plan died: the run can never be drained, so drop it
             # from the live registry (a later cold start must not be
             # blocked by a corpse).
-            self._runtime.end_attribution()
             self._runtime.unregister_stream(self)
             self.closed = True
             self._finish_span(partial=True, error=type(exc).__name__)
             raise
-        self._runtime.end_attribution()
         if batch is None:
             self.exhausted = True
             self._runtime.unregister_stream(self)

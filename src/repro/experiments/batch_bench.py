@@ -188,7 +188,7 @@ def run_batch_bench(num_tuples: int = DEFAULT_MICRO_TUPLES,
                     and math.isclose(row_cpu, batch_cpu, rel_tol=1e-9,
                                      abs_tol=1e-6)):
                 raise AssertionError(
-                    f"row/batch simulated-cost mismatch for "
+                    "row/batch simulated-cost mismatch for "
                     f"{path}@{sel_pct}%: io {row_io} vs {batch_io}, "
                     f"cpu {row_cpu} vs {batch_cpu}"
                 )

@@ -65,10 +65,10 @@ class CompetitiveResult:
             f"{table}\n"
             f"sweep max CR: {self.sweep_max_cr:.2f}\n"
             f"adversarial (every-2nd-page) CR: {self.adversarial_cr:.2f} "
-            f"(default elastic; paper's empirical CR ≈ 2)\n"
-            f"adversarial CR, strict elastic: "
+            "(default elastic; paper's empirical CR ≈ 2)\n"
+            "adversarial CR, strict elastic: "
             f"{self.adversarial_cr_strict:.2f} "
-            f"(paper's analysis: ≈ 5.5 on HDD, bound 11)"
+            "(paper's analysis: ≈ 5.5 on HDD, bound 11)"
         )
 
 

@@ -151,12 +151,12 @@ class ConcurrencyResult:
                    "drift mix; simulated times)"),
         )]
         lines.append(
-            f"divergence under contention: classic p99 / smooth p99 = "
+            "divergence under contention: classic p99 / smooth p99 = "
             f"{self.p99_divergence:.1f}x, smooth throughput / classic "
             f"throughput = {self.throughput_divergence:.1f}x"
         )
         lines.append(
-            f"graceful degradation (contended mean / serial mean): "
+            "graceful degradation (contended mean / serial mean): "
             f"classic {self.classic.degradation:.2f}x, smooth "
             f"{self.smooth.degradation:.2f}x"
         )
@@ -167,7 +167,7 @@ class ConcurrencyResult:
         )
         lines.append(
             f"clients: {self.num_clients}, quantum: 1 batch, "
-            f"scheduler: round-robin (deterministic, simulated clock)"
+            "scheduler: round-robin (deterministic, simulated clock)"
         )
         # The machine-readable rows (workload-report/v1) — the same
         # schema the serving artifact emits, so downstream tooling can

@@ -48,7 +48,7 @@ class Fig11Result:
         ]
         return format_table(
             headers, rows,
-            title=(f"Figure 11 — Switch Scan cliff "
+            title=("Figure 11 — Switch Scan cliff "
                    f"(threshold = {self.threshold_tuples} tuples)"),
         )
 

@@ -92,7 +92,7 @@ def run_fig4(scale_factor: float = 0.01,
             name: label for name, (_fn, label) in FIGURE4_QUERIES.items()
         },
     )
-    for mode, builder_mode in zip(MODES, ("tuned", "smooth")):
+    for mode, builder_mode in zip(MODES, ("tuned", "smooth"), strict=False):
         builder = TpchPlanBuilder(setup.db, setup.catalog, builder_mode)
         for name in FIGURE4_QUERIES:
             run = run_tpch_query(setup, builder, name)

@@ -79,7 +79,7 @@ class Fig7bResult:
             for i, sel in enumerate(self.selectivities_pct)
         ]
         title = (
-            f"Figure 7b — triggering points, time (s); "
+            "Figure 7b — triggering points, time (s); "
             f"SLA bound = {self.sla_bound_seconds:.4g}s "
             f"(trigger at {self.sla_trigger_cardinality} tuples, "
             f"optimizer estimate {self.optimizer_estimate})"

@@ -76,7 +76,7 @@ class PreparedDriftResult:
     def slowdowns(self, series: list[float]) -> list[float]:
         """Per-point ratio of ``series`` over the fresh-replan time."""
         return [s / r if r > 0 else float("inf")
-                for s, r in zip(series, self.replan_seconds)]
+                for s, r in zip(series, self.replan_seconds, strict=False)]
 
     @property
     def max_cached_slowdown(self) -> float:
@@ -107,14 +107,14 @@ class PreparedDriftResult:
                    f"(statement: {DRIFT_SQL}; simulated times)"),
         )]
         lines.append(
-            f"max slowdown vs fresh replan: cached classic plan "
+            "max slowdown vs fresh replan: cached classic plan "
             f"{self.max_cached_slowdown:.1f}x, cached smooth plan "
             f"{self.max_smooth_slowdown:.1f}x"
         )
         lines.append(
             f"plan cache after sweep: {self.cache_misses} misses, "
             f"{self.cache_hits} hits, {self.cache_invalidations} "
-            f"invalidations; statement compiles: "
+            "invalidations; statement compiles: "
             f"{self.statement_compiles}"
         )
         return "\n".join(lines)

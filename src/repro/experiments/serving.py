@@ -194,7 +194,7 @@ class ServingResult:
             lines.append(
                 f"fair-share bound [{series.name}]: contended p99 "
                 f"{series.contended.report.p99_ms / 1000:.3f}s <= "
-                f"(requests+1) x serial p99 = "
+                "(requests+1) x serial p99 = "
                 f"{series.fair_share_bound / 1000:.3f}s: "
                 + ("ok" if series.within_fair_share else "VIOLATED")
             )

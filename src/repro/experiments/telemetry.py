@@ -128,7 +128,7 @@ class TelemetryResult:
         lines.append(
             f"history store: {self.store.event_count} events, "
             f"{self.store.query_count} query spans in engine tables "
-            f"(B-tree indexed on query_id), queried via SQL"
+            "(B-tree indexed on query_id), queried via SQL"
         )
         for s in self.series:
             verdict = ("exact" if not s.rollup_problems
@@ -261,7 +261,7 @@ def run_telemetry_workload(
     untraced = make_micro_db(num_tuples)
     untraced.db.analyze()
     overhead_identical = True
-    for (name, options), traced in zip(configs, series):
+    for (name, options), traced in zip(configs, series, strict=False):
         report, _ = _run_series(untraced.db, name, options, num_clients)
         overhead_identical &= (
             report.to_json(detail=True)

@@ -110,7 +110,7 @@ def resolve_params(param_names: Sequence[str | None],
             )
         missing = sorted({n for n in named if n not in params})
         if missing:
-            raise SqlError(f"missing parameter values for: "
+            raise SqlError("missing parameter values for: "
                            f"{', '.join(missing)}")
         extra = sorted(set(params) - set(named))
         if extra:
@@ -166,7 +166,7 @@ def substitute_predicate(predicate: Predicate,
         return predicate
     if isinstance(predicate, (And, Or)):
         parts = [substitute_predicate(p, values) for p in predicate.parts]
-        if all(new is old for new, old in zip(parts, predicate.parts)):
+        if all(new is old for new, old in zip(parts, predicate.parts, strict=False)):
             return predicate
         return And(parts) if isinstance(predicate, And) else Or(parts)
     if isinstance(predicate, Not):
@@ -190,7 +190,7 @@ def substitute_spec(spec: QuerySpec,
         if not isinstance(limit, int) or isinstance(limit, bool) \
                 or limit < 0:
             raise SqlError(
-                f"LIMIT parameter must be a non-negative integer, "
+                "LIMIT parameter must be a non-negative integer, "
                 f"got {limit!r}"
             )
         changes["limit"] = limit

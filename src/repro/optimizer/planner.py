@@ -808,7 +808,7 @@ class Planner:
             )
         raise PlanningError(
             f"predicate references columns {missing} available in no "
-            f"referenced table"
+            "referenced table"
         )
 
     def _apply_ready_filters(self, spec: QuerySpec, node: PlanNode,

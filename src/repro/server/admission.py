@@ -310,7 +310,7 @@ class AdmissionController:
             return AdmissionDecision(
                 action=REJECT, table=table, estimated_cost=estimate,
                 budget=budget,
-                reason=(f"estimate exceeds SLA budget and the "
+                reason=("estimate exceeds SLA budget and the "
                         f"force_path({merged.force_path}) hint forbids "
                         "degrading to a Smooth Scan"),
             )

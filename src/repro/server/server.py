@@ -295,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT,
-                        help=f"TCP port (0 picks a free one; default "
+                        help="TCP port (0 picks a free one; default "
                              f"{DEFAULT_PORT})")
     parser.add_argument("--rows", type=int, default=60_000,
                         help="micro-table size (default 60000)")

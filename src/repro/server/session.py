@@ -33,7 +33,7 @@ request (``admission.queued_ms``) and in aggregate (``stats`` frames).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.api.session import Connection, Cursor, PreparedStatement

@@ -212,7 +212,7 @@ class _Parser:
                 limit = token.value
             else:
                 raise self._error(
-                    f"LIMIT takes an integer or a parameter, got "
+                    "LIMIT takes an integer or a parameter, got "
                     f"{token.describe()}", token
                 )
         hints = tuple(self.hints) if top_level else ()

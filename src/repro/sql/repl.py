@@ -236,7 +236,7 @@ class Repl:
             f"({n} interleaved clients, p50 {report.p50_ms / 1000:.3f}s, "
             f"p99 {report.p99_ms / 1000:.3f}s, "
             f"{report.throughput_qps:.1f} queries/s simulated; "
-            f"ledgers sum to runtime totals: "
+            "ledgers sum to runtime totals: "
             f"{'ok' if conserved else 'VIOLATED'})"
         )
 
@@ -274,10 +274,12 @@ class Repl:
             if cells else len(name)
             for i, name in enumerate(names)
         ]
-        self._print(" | ".join(n.ljust(w) for n, w in zip(names, widths)))
+        self._print(" | ".join(
+            n.ljust(w) for n, w in zip(names, widths, strict=False)))
         self._print("-+-".join("-" * w for w in widths))
         for row in cells:
-            self._print(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+            self._print(" | ".join(
+                c.rjust(w) for c, w in zip(row, widths, strict=False)))
         if len(result.rows) > DISPLAY_ROWS:
             self._print(f"... ({len(result.rows) - DISPLAY_ROWS} more)")
 

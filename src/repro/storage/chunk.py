@@ -106,7 +106,7 @@ class Chunk:
         rows = rows if isinstance(rows, list) else list(rows)
         if not rows:
             return cls(names, [[] for _ in names])
-        transposed = list(zip(*rows))
+        transposed = list(zip(*rows, strict=False))
         chunk = cls(names, [_typed_column(col) for col in transposed])
         chunk._rows = rows  # already materialized; reuse on to_rows()
         return chunk
@@ -167,7 +167,7 @@ class Chunk:
             for i in range(len(self.columns)):
                 col = self.data_column(i)
                 cols.append(col.tolist() if _is_array(col) else col)
-            self._rows = list(zip(*cols)) if cols else []
+            self._rows = list(zip(*cols, strict=False)) if cols else []
         return self._rows
 
     # -- columnar access ---------------------------------------------------
@@ -258,7 +258,7 @@ def mask_and(a: Mask | None, b: Mask | None) -> Mask | None:
         return a & b
     a_list = a.tolist() if _is_array(a) else a
     b_list = b.tolist() if _is_array(b) else b
-    return [x and y for x, y in zip(a_list, b_list)]
+    return [x and y for x, y in zip(a_list, b_list, strict=False)]
 
 
 def mask_or(a: Mask | None, b: Mask | None) -> Mask | None:
@@ -269,7 +269,7 @@ def mask_or(a: Mask | None, b: Mask | None) -> Mask | None:
         return a | b
     a_list = a.tolist() if _is_array(a) else a
     b_list = b.tolist() if _is_array(b) else b
-    return [x or y for x, y in zip(a_list, b_list)]
+    return [x or y for x, y in zip(a_list, b_list, strict=False)]
 
 
 def mask_not(m: Mask | None, n: int) -> Mask:

@@ -66,7 +66,7 @@ def options_from_dict(data: dict | None) -> "PlannerOptions | None":
     hooks = data.get("unserializable_hooks")
     if hooks:
         raise ReproError(
-            f"trace recorded planner options with callable hooks "
+            "trace recorded planner options with callable hooks "
             f"{hooks}; such workloads cannot be replayed from a file"
         )
     return PlannerOptions(**{name: data[name] for name in _OPTION_FIELDS})

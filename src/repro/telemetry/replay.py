@@ -149,7 +149,7 @@ def _replay_run(db: "Database", run: CapturedRun,
                     continue
                 # Closed-loop clients finish their queue in order, so
                 # completion order == recorded arrival order.
-                for i, (stmt, record) in enumerate(zip(queue, replayed)):
+                for i, (stmt, record) in enumerate(zip(queue, replayed, strict=False)):
                     _check(stmt, record.rows, record.ledger,
                            f"{run.label}/{name}[{i}]", result)
     finally:

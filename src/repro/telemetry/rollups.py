@@ -66,7 +66,7 @@ def totals(store: "HistoryStore", run_id: int = 0) -> dict:
     row = result.rows[0]
     names = ("queries", "rows_out", "io_ms", "cpu_ms", "pages_read",
              "buffer_hits", "buffer_misses")
-    out = dict(zip(names, row))
+    out = dict(zip(names, row, strict=False))
     if out["queries"] == 0:
         # Scalar aggregate over zero rows: sums are NULL-ish zeros here.
         out = {name: (0 if name == "queries" else 0.0) for name in names}
@@ -78,7 +78,7 @@ def by_bin(store: "HistoryStore", run_id: int = 0) -> list[dict]:
     with store.connect() as conn:
         result = conn.run(BY_BIN_SQL, {"run_id": run_id})
     names = ("bin", "queries", "rows_out", "total_ms")
-    return [dict(zip(names, row)) for row in result.rows]
+    return [dict(zip(names, row, strict=False)) for row in result.rows]
 
 
 def by_client(store: "HistoryStore", run_id: int = 0) -> list[dict]:
@@ -86,7 +86,7 @@ def by_client(store: "HistoryStore", run_id: int = 0) -> list[dict]:
     with store.connect() as conn:
         result = conn.run(BY_CLIENT_SQL, {"run_id": run_id})
     names = ("client", "queries", "rows_out", "io_ms", "cpu_ms")
-    return [dict(zip(names, row)) for row in result.rows]
+    return [dict(zip(names, row, strict=False)) for row in result.rows]
 
 
 def report_totals(report: "WorkloadReport") -> dict:

@@ -563,8 +563,6 @@ def q19(b: TpchPlanBuilder) -> Operator:
     part = b.scan("part", part_pred)
     joined = b.join_to(part, b.estimate("part", part_pred),
                        "lineitem", "p_partkey", "l_partkey")
-    s = joined.schema
-    pb = s.index_of("p_brand")
     keep = Or([
         And([Comparison("p_brand", CompareOp.EQ, "Brand#12"), l1]),
         And([Comparison("p_brand", CompareOp.EQ, "Brand#23"), l2]),

@@ -1,0 +1,4 @@
+"""RPL000 fixture: deliberately does not parse."""
+
+def broken(:
+    pass

@@ -1,0 +1,24 @@
+"""RPL101 golden-bad fixture: wall-clock and entropy reads."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def elapsed():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def label():
+    return f"{datetime.now()}-{uuid.uuid4()}"
+
+
+def jitter():
+    rng = random.Random()
+    return rng.random() + random.random()

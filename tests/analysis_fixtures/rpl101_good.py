@@ -1,0 +1,12 @@
+"""RPL101 golden-good fixture: seeded randomness, simulated time only."""
+
+import random
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def simulated_elapsed(clock):
+    return clock.total_ms

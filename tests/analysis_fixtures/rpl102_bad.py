@@ -1,0 +1,19 @@
+"""RPL102 golden-bad fixture: order-sensitive consumption of sets."""
+
+
+def report(names):
+    chosen = {n for n in names if n}
+    lines = []
+    for name in chosen:
+        lines.append(name)
+    return "\n".join(lines)
+
+
+def materialize(a, b):
+    merged = set(a) | set(b)
+    return list(merged)
+
+
+def render(tags):
+    tags = set(tags)
+    return ", ".join(tags)

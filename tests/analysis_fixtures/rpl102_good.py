@@ -1,0 +1,16 @@
+"""RPL102 golden-good fixture: sets consumed order-insensitively."""
+
+
+def report(names):
+    chosen = {n for n in names if n}
+    return "\n".join(sorted(chosen))
+
+
+def count(a, b):
+    merged = set(a) | set(b)
+    return len(merged), max(merged)
+
+
+def contains(tags, wanted):
+    tags = set(tags)
+    return wanted in tags

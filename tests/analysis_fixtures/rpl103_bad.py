@@ -1,0 +1,12 @@
+"""RPL103 golden-bad fixture: unguarded window open/close."""
+
+
+def unguarded(runtime, ledger, plan):
+    runtime.begin_attribution(ledger)
+    rows = list(plan)
+    runtime.end_attribution()
+    return rows
+
+
+def never_closed(tracer, cold):
+    return tracer.begin_query(cold)

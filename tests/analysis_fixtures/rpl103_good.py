@@ -1,0 +1,27 @@
+"""RPL103 golden-good fixture: both accepted finally shapes."""
+
+
+def opener_inside_try(runtime, ledger, plan):
+    try:
+        runtime.begin_attribution(ledger)
+        return list(plan)
+    finally:
+        runtime.end_attribution()
+
+
+def opener_before_try(runtime, ledger, plan):
+    runtime.begin_attribution(ledger)
+    try:
+        return list(plan)
+    finally:
+        runtime.end_attribution()
+
+
+def annotated_lifecycle(tracer, cold):
+    return tracer.begin_query(cold)  # repro: allow[RPL103] -- fixture: cross-method lifecycle
+
+
+def annotated_above(tracer, cold):
+    # repro: allow[RPL103] -- fixture: standalone annotation covers
+    # the next code line, across continuation comments
+    return tracer.begin_query(cold)

@@ -1,0 +1,8 @@
+"""RPL105 golden-good fixture: integer arithmetic on counters."""
+
+
+def account(stats, n, extent):
+    stats.pages_read += -(-n // extent)
+    stats.bytes_read = n * 4096
+    stats.hits += 1
+    stats.total_ms = n / extent  # not a tracked integer counter

@@ -1,0 +1,17 @@
+"""RPL106 golden-bad fixture: an Operator without the batch protocol."""
+
+
+class Operator:
+    def rows(self, ctx):
+        raise NotImplementedError
+
+    def batches(self, ctx):
+        raise NotImplementedError
+
+
+class Silent(Operator):
+    schema = None
+
+
+class SilentChild(Silent):
+    pass

@@ -1,0 +1,26 @@
+"""RPL106 golden-good fixture: operators honouring the protocol."""
+
+import abc
+
+
+class Operator:
+    def rows(self, ctx):
+        raise NotImplementedError
+
+    def batches(self, ctx):
+        raise NotImplementedError
+
+
+class Scan(Operator):
+    def batches(self, ctx):
+        yield []
+
+
+class Narrow(Scan):
+    pass  # inherits batches() from Scan
+
+
+class Sketch(Operator, abc.ABC):
+    @abc.abstractmethod
+    def estimate(self):
+        ...

@@ -1,0 +1,5 @@
+"""Suppression fixture: a stale allow that no longer fires."""
+
+
+def quiet():
+    return 42  # repro: allow[RPL101] -- fixture: stale, nothing fires here

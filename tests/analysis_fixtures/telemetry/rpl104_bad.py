@@ -1,0 +1,11 @@
+"""RPL104 golden-bad fixture: a telemetry module that charges."""
+
+
+def snapshot(ctx, page_id):
+    page = ctx.get_page(page_id)
+    ctx.charge_inspect(1)
+    return page
+
+
+def tax(clock):
+    clock.charge_cpu(0.5)

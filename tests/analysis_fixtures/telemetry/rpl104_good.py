@@ -1,0 +1,8 @@
+"""RPL104 golden-good fixture: telemetry that only observes."""
+
+
+def snapshot(runtime):
+    return {
+        "total_ms": runtime.clock.total_ms,
+        "pages_read": runtime.disk.stats.pages_read,
+    }

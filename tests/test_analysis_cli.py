@@ -1,0 +1,88 @@
+"""The repro-lint CLI: exit codes, text and JSON output, --explain."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+def test_clean_file_exits_zero_with_summary():
+    status, out = run_cli(str(FIXTURES / "rpl101_good.py"))
+    assert status == 0
+    assert out.startswith("ok: 0 finding(s)")
+
+
+def test_findings_exit_one_with_rendered_lines():
+    status, out = run_cli(str(FIXTURES / "rpl101_bad.py"))
+    assert status == 1
+    assert "RPL101" in out
+    assert "rpl101_bad.py:" in out
+    assert out.rstrip().splitlines()[-1].startswith("FAIL:")
+
+
+def test_json_output_is_machine_readable():
+    status, out = run_cli("--format", "json",
+                          str(FIXTURES / "rpl105_bad.py"))
+    assert status == 1
+    payload = json.loads(out)
+    assert payload["clean"] is False
+    assert payload["files_checked"] == 1
+    diag = payload["diagnostics"][0]
+    assert diag["code"] == "RPL105"
+    assert diag["file"].endswith("rpl105_bad.py")
+    assert isinstance(diag["line"], int)
+
+
+def test_json_output_clean_tree():
+    status, out = run_cli("--format", "json",
+                          str(FIXTURES / "rpl105_good.py"))
+    assert status == 0
+    assert json.loads(out)["clean"] is True
+
+
+def test_select_restricts_rules():
+    status, out = run_cli("--select", "RPL105",
+                          str(FIXTURES / "rpl101_bad.py"))
+    assert status == 0  # only RPL105 ran; the RPL101 findings are unselected
+
+
+def test_select_unknown_code_is_usage_error():
+    status, out = run_cli("--select", "RPL999", str(FIXTURES))
+    assert status == 2
+    assert "unknown rule code" in out
+
+
+def test_explain_prints_rationale():
+    status, out = run_cli("--explain", "RPL103")
+    assert status == 0
+    assert "RPL103" in out
+    assert "finally" in out
+
+
+def test_explain_unknown_code_is_usage_error():
+    status, out = run_cli("--explain", "RPL999")
+    assert status == 2
+
+
+def test_list_rules():
+    status, out = run_cli("--list-rules")
+    assert status == 0
+    lines = out.strip().splitlines()
+    assert len(lines) == 6
+    assert lines[0].startswith("RPL101")
+    assert lines[-1].startswith("RPL106")
+
+
+def test_unused_suppression_fails_the_gate():
+    status, out = run_cli(str(FIXTURES / "suppress_unused.py"))
+    assert status == 1
+    assert "RPL100" in out

@@ -14,7 +14,7 @@ from repro.database import Database
 from repro.errors import InterfaceError
 from repro.exec.expressions import Between
 from repro.optimizer.planner import PlannerOptions
-from repro.storage.types import ColumnType, Schema
+from repro.storage.types import ColumnType
 from repro.workloads.micro import build_micro_table
 
 

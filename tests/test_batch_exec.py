@@ -10,7 +10,6 @@ the Tuple ID cache and Result Cache under non-eager triggers.
 
 import pytest
 
-from repro.context import ExecutionContext
 from repro.core.morph_join import MorphingIndexJoin
 from repro.core.policy import (
     ElasticPolicy,
@@ -44,7 +43,7 @@ from repro.exec.joins import HashJoin, MergeJoin, NestedLoopJoin
 from repro.exec.misc import Filter, Limit, Materialize, Project
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
 from repro.exec.sort import Sort
-from repro.storage.types import Row, Schema
+from repro.storage.types import Schema
 
 ALL_POLICIES = [GreedyPolicy(), SelectivityIncreasePolicy(), ElasticPolicy()]
 TRIGGERS = {
@@ -98,6 +97,8 @@ class _BatchesOnly(Operator):
             yield list(self._data)
 
 
+# repro: allow[RPL106] -- negative fixture: proves the runtime shim
+# raises for protocol-less operators
 class _Neither(Operator):
     schema = Schema.of_ints(["a"])
 
@@ -341,7 +342,7 @@ def test_pipeline_batch_equals_rows(small_table):
 def test_limit_batch_equals_rows(small_table):
     db, table = small_table
     for n in (0, 1, 37, 10_000):
-        def factory():
+        def factory(n=n):
             return Limit(FullTableScan(table), n)
         rows, _ = drain_rows(db, factory())
         flat, _ = drain_batches(db, factory())
@@ -352,10 +353,12 @@ def test_limit_batch_equals_rows(small_table):
 def test_joins_batch_equals_rows(small_table):
     from repro.exec.misc import Rename
     db, table = small_table
-    left = lambda: Project(FullTableScan(table, Between("c2", 0, 90)),
-                           ["c1", "c2"])
+    def left():
+        return Project(FullTableScan(table, Between("c2", 0, 90)),
+                       ["c1", "c2"])
+
     for join_type in ("inner", "left", "semi", "anti"):
-        def factory():
+        def factory(join_type=join_type):
             rn = Rename(
                 Project(FullTableScan(table, Between("c2", 0, 60)), ["c2"]),
                 {"c2": "d2"},

@@ -5,7 +5,6 @@ import pytest
 from repro.core.policy import (
     ElasticPolicy,
     GreedyPolicy,
-    MorphPolicy,
     SelectivityIncreasePolicy,
     policy_by_name,
 )

@@ -68,7 +68,6 @@ def test_and_or_not_composition():
 
 
 def test_string_match_kinds():
-    schema = Schema([*Schema.of_ints(["a"]).columns])
     row = ("PROMO BRUSHED TIN",)
 
     def match(kind, value):

@@ -7,13 +7,11 @@ limits mid-ordered-scan, string keys, and degenerate tables.
 
 import random
 
-import pytest
-
 from repro.config import EngineConfig
 from repro.core.smooth_scan import SmoothScan
 from repro.core.trigger import OptimizerDrivenTrigger
 from repro.database import Database
-from repro.exec.expressions import Between, Comparison, CompareOp, KeyRange
+from repro.exec.expressions import Between, KeyRange
 from repro.exec.scans import FullTableScan, IndexScan, SortScan
 from repro.exec.sort import Sort
 from repro.exec.stats import measure

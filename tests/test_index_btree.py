@@ -5,7 +5,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.database import Database
 from repro.errors import BTreeError
 from repro.index.btree import BTreeIndex
 from repro.storage.types import Schema, TID

@@ -32,10 +32,10 @@ def join_db(db):
 
 def expected_inner(left_rows, right_rows):
     out = []
-    for l in left_rows:
-        for r in right_rows:
-            if l[1] == r[0]:
-                out.append(l + r)
+    for lrow in left_rows:
+        for rrow in right_rows:
+            if lrow[1] == rrow[0]:
+                out.append(lrow + rrow)
     return sorted(out)
 
 

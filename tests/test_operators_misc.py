@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PlanningError
+from repro.errors import PlanningError, StorageError
 from repro.exec.expressions import Comparison, CompareOp
 from repro.exec.misc import Filter, Limit, MapProject, Materialize, Project, Rename
 from repro.exec.scans import FullTableScan
@@ -46,7 +46,7 @@ def test_project_requires_columns(base):
     _db, scan = base
     with pytest.raises(PlanningError):
         Project(scan, [])
-    with pytest.raises(Exception):
+    with pytest.raises(StorageError):
         Project(scan, ["zz"])
 
 
@@ -108,7 +108,7 @@ def test_sort_descending(base):
 def test_sort_multi_key_stable(base):
     db, scan = base
     rows = measure(db, Sort(scan, [("b", True), ("a", False)])).rows
-    for r1, r2 in zip(rows, rows[1:]):
+    for r1, r2 in zip(rows, rows[1:], strict=False):
         assert (r1[1], -r1[0]) <= (r2[1], -r2[0])
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.costmodel.params import CostParams
 from repro.database import Database
 from repro.optimizer import costing

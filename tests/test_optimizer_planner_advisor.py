@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.config import EngineConfig
 from repro.core.smooth_scan import SmoothScan
 from repro.database import Database
 from repro.exec.expressions import Between, Comparison, CompareOp, KeyRange

@@ -5,7 +5,6 @@ path (Full, Index, Sort, Switch, Smooth × {policies} × {triggers} ×
 {ordered}) must produce exactly the same multiset of rows.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.policy import (

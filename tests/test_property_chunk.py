@@ -109,7 +109,7 @@ def test_filter_and_concat_match_python(batch, data):
 
     bools = [data.draw(st.booleans()) for _ in rows]
     kept = chunk.filter(mask_from_bools(iter(bools), len(rows)))
-    expected = [r for r, b in zip(rows, bools) if b]
+    expected = [r for r, b in zip(rows, bools, strict=False) if b]
     assert (kept.to_rows() if kept is not None else []) == expected
 
     if rows:

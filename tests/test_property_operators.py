@@ -50,7 +50,7 @@ def test_hash_join_matches_python(left, right):
     got = sorted(measure(db, HashJoin(
         FullTableScan(lt), FullTableScan(rt), ["lk"], ["rk"])).rows)
     expected = sorted(
-        l + r for l in left for r in right if l[0] == r[0]
+        lr + rr for lr in left for rr in right if lr[0] == rr[0]
     )
     assert got == expected
 

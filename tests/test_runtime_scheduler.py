@@ -223,8 +223,11 @@ def test_cold_start_owns_all_reset_semantics(micro_db):
 
 def test_attribution_windows_cannot_nest(micro_db):
     runtime = micro_db.runtime
+    # repro: allow[RPL103] -- deliberately left open to assert the
+    # nesting/cold-start rejections; closed four lines down
     runtime.begin_attribution(CostLedger())
     with pytest.raises(ExecutionError, match="already open"):
+        # repro: allow[RPL103] -- must raise, never opens
         runtime.begin_attribution(CostLedger())
     with pytest.raises(ExecutionError, match="attribution window"):
         runtime.cold_start()
@@ -363,6 +366,8 @@ def test_buffer_pressure_trigger_morphs_earlier_under_pressure(micro_db):
         BufferPressureTrigger(10, micro_db.buffer, sensitivity=1.5)
 
 
+# Pre-pressurizing the pool is a deliberate bare out-of-window read.
+@pytest.mark.no_suite_sanitizer
 def test_buffer_pressure_trigger_drives_smooth_scan(micro_db):
     # Same plan, same data: a full pool makes the scan morph earlier,
     # which changes its I/O pattern (a genuinely contention-dependent

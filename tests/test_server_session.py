@@ -315,7 +315,7 @@ def test_closed_connection_answers_interface_on_every_frame_type(db):
                                 "params": {"lo": 0, "hi": 100}})[0]
     cid = executing["cursor"]
     session.conn.close()  # the engine connection dies under the session
-    for rid, frame in enumerate((
+    for _rid, frame in enumerate((
         {"op": "prepare", "id": 10, "sql": SQL},
         {"op": "execute", "id": 11, "sql": SQL,
          "params": {"lo": 0, "hi": 100}},

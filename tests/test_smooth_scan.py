@@ -14,7 +14,6 @@ from repro.core.policy import (
 )
 from repro.core.smooth_scan import SmoothScan
 from repro.core.trigger import (
-    EagerTrigger,
     OptimizerDrivenTrigger,
     SLADrivenTrigger,
 )

@@ -1,7 +1,5 @@
 """The trace layer: zero simulated cost, correct spans, live metrics."""
 
-import pytest
-
 from repro.database import Database
 from repro.optimizer.planner import PlannerOptions
 from repro.workloads.micro import build_micro_table
@@ -54,7 +52,7 @@ def test_tracing_charges_zero_simulated_cost():
     traced_db.tracer.enable()
     plain = run_workload(plain_db)
     traced = run_workload(traced_db)
-    for p, t in zip(plain, traced):
+    for p, t in zip(plain, traced, strict=False):
         assert p.run.io_ms == t.run.io_ms
         assert p.run.cpu_ms == t.run.cpu_ms
         assert p.run.disk == t.run.disk

@@ -45,7 +45,7 @@ def test_detail_round_trip_reproduces_everything(report):
     blob = report.to_json(detail=True)
     loaded = WorkloadReport.from_detail_dict(json.loads(blob))
     assert len(loaded.records) == len(report.records)
-    for a, b in zip(loaded.records, report.records):
+    for a, b in zip(loaded.records, report.records, strict=False):
         assert a.client == b.client
         assert a.label == b.label
         assert a.rows == b.rows

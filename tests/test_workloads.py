@@ -7,7 +7,6 @@ from repro.errors import WorkloadError
 from repro.exec.scans import FullTableScan
 from repro.exec.stats import measure
 from repro.workloads.micro import (
-    VALUE_DOMAIN,
     build_micro_table,
     selectivity_predicate,
     selectivity_range,
@@ -27,7 +26,7 @@ def test_micro_geometry(micro_setup):
 
 def test_micro_c1_is_order_number(micro_setup):
     _db, table = micro_setup
-    for i, (_tid, row) in zip(range(50), table.heap.iter_rows()):
+    for i, (_tid, row) in zip(range(50), table.heap.iter_rows(), strict=False):
         assert row[0] == i
 
 
