@@ -50,11 +50,20 @@ def test_serving_workload(benchmark, report):
     assert all(label == "forced-index"
                for _client, label, detail in result.all_rejections())
 
-    # The drifted classic replays are caught and degraded to the
-    # SLA-bounded Smooth Scan; the smooth series needs no degrading.
-    assert (result.classic.serial.admission.degraded
+    # The drifted classic replays are caught over budget and *split*
+    # across the partitioned table's shards — admitted as exchange
+    # plans within the budget instead of degraded; the smooth series'
+    # bounded replays need neither splitting nor degrading.
+    assert (result.classic.serial.admission.split
             == DEFAULT_SERVING_CLIENTS - rejected_clients)
+    assert (result.classic.contended.admission.split
+            == DEFAULT_SERVING_CLIENTS - rejected_clients)
+    assert result.classic.serial.admission.degraded == 0
+    assert result.smooth.serial.admission.split == 0
     assert result.smooth.serial.admission.degraded == 0
+    # Splitting is a rescue, not a default: every split's serial price
+    # broke the budget and its shard-parallel re-price fit it.
+    assert result.splits_within_budget
 
     # Saturation was real: most contended requests had to queue, and
     # the tail queue wait is visible on the simulated clock.

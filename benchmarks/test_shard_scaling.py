@@ -1,0 +1,46 @@
+"""Shard-parallel scaling: partitioned Smooth Scans behind an Exchange.
+
+Sweeps the shard count over the fig5 selectivity grid and the
+1,000-client serving mix.  The guardrails CI greps for: a scan-bound
+query completes >= 2x faster at 4 shards than serially, scaling is
+near-linear (the serial coordinator merge is the Amdahl term the
+exchange-overhead lines quantify), summed per-shard ledgers reproduce
+each run's ledger exactly, and the serving fleet's over-budget replays
+— degraded when the table is unsharded — are split-admitted within
+their SLA budgets once it is partitioned.
+"""
+
+from conftest import run_once
+
+from repro.experiments.shards import run_shard_scaling
+
+
+def test_shard_scaling(benchmark, report):
+    result = run_once(benchmark, run_shard_scaling)
+    report("shard_scaling", result.report())
+
+    # The headline: an over-budget scan-bound query completes >= 2x
+    # faster at 4 shards, and adding shards keeps helping near-linearly.
+    assert result.scan_bound_speedup(4) >= 2.0
+    assert result.near_linear
+
+    # Parallelism must not change answers: every shard count and the
+    # serial baseline return identical row counts at every point.
+    assert result.rows_ok
+
+    # Attribution survives the fan-out: per-shard windows sum to each
+    # run's own ledger (integer disk counters exactly).
+    assert result.conservation_ok
+
+    # Serving: unsharded, the drifted replays degrade; partitioned,
+    # every one of them is split-admitted instead — and the contended
+    # makespan improvement is what splitting buys at serving scale.
+    by_n = {p.num_shards: p for p in result.serving}
+    assert by_n[1].split == 0
+    assert by_n[1].degraded > 0
+    for n in (2, 4, 8):
+        assert by_n[n].degraded == 0
+        assert by_n[n].split == by_n[1].degraded
+        assert by_n[n].conservation_ok
+    assert by_n[1].conservation_ok
+    assert result.serving_split_speedup >= 2.0

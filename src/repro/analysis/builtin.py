@@ -265,6 +265,7 @@ class UnorderedIterationRule(Rule):
 _WINDOW_PAIRS = {
     "begin_attribution": "end_attribution",
     "begin_query": "finish_query",
+    "begin_shard_attribution": "end_shard_attribution",
     "begin_span": "end_span",
 }
 

@@ -33,6 +33,8 @@ class CpuCosts:
         cache_insert: one insert into a Smooth Scan auxiliary cache.
         buffer_hit: serving a page from the buffer pool without disk I/O.
         index_entry: advancing one (key, TID) entry along a B+-tree leaf.
+        exchange_row: moving one row through an exchange merge — the
+            coordinator-side cost of shard-parallel execution.
     """
 
     tuple_inspect: float = 2.0e-4
@@ -43,6 +45,7 @@ class CpuCosts:
     cache_insert: float = 8.0e-5
     buffer_hit: float = 5.0e-5
     index_entry: float = 5.0e-5
+    exchange_row: float = 5.0e-5
 
 
 @dataclass(frozen=True)

@@ -79,3 +79,7 @@ class ExecutionContext:
     def charge_index_entry(self, n: int = 1) -> None:
         """Charge advancing ``n`` entries along a B+-tree leaf chain."""
         self.clock.charge_cpu(self.config.cpu.index_entry * n)
+
+    def charge_exchange(self, n: int = 1) -> None:
+        """Charge moving ``n`` rows through an exchange merge."""
+        self.clock.charge_cpu(self.config.cpu.exchange_row * n)

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.plan_cache import PlanCache
     from repro.optimizer.planner import PlannedQuery, PlannerOptions
     from repro.optimizer.statistics import StatisticsCatalog
+    from repro.storage.sharding import ShardSet
     from repro.telemetry.tracer import Tracer
 
 class Database:
@@ -60,6 +61,12 @@ class Database:
         self._catalog_version = 0
         self._plan_cache: "PlanCache | None" = None
         self._session: "Connection | None" = None
+        #: Shard catalog: logical table name -> its registered
+        #: partitioning.  Shard tables live in ``_shard_tables``, NOT in
+        #: ``runtime.tables`` — they are execution artifacts of their
+        #: parent, invisible to FROM clauses and buffer auto-sizing.
+        self._shard_sets: dict[str, "ShardSet"] = {}
+        self._shard_tables: dict[str, Table] = {}
         #: Statements compiled (lexed+parsed+bound) against this
         #: database — the counter prepared-statement tests assert on.
         self.sql_compile_count = 0
@@ -147,17 +154,113 @@ class Database:
     def table(self, name: str) -> Table:
         """Look up a table by name.
 
-        The error names the missing table *and* lists the known ones —
-        the difference between a typo hunt and a one-glance fix when the
-        lookup comes from SQL text or the fluent API.
+        Falls back to the shard catalog (``{table}#{i}`` names), so the
+        planner and operators resolve shard tables through the same
+        call — shard names cannot reach here from SQL text (``#`` is
+        not an identifier character).  The error names the missing
+        table *and* lists the known ones — the difference between a
+        typo hunt and a one-glance fix when the lookup comes from SQL
+        text or the fluent API.
         """
         try:
             return self.tables[name]
         except KeyError:
+            shard = self._shard_tables.get(name)
+            if shard is not None:
+                return shard
             known = ", ".join(sorted(self.tables)) or "(no tables loaded)"
             raise StorageError(
                 f"no table named {name!r}; known tables: {known}"
             ) from None
+
+    def shard_set(self, name: str) -> "ShardSet | None":
+        """The registered partitioning of ``name``, or None."""
+        return self._shard_sets.get(name)
+
+    def shard_table(self, table_name: str, num_shards: int,
+                    scheme: str = "round_robin",
+                    column: str | None = None) -> "ShardSet":
+        """Partition a table into ``num_shards`` physical shards.
+
+        Offline DDL, like index builds: each shard gets its own heap
+        file, secondary indexes on the same columns as the parent, and
+        *fresh* statistics (shards are analyzed at partition time, so
+        per-shard access-path decisions start accurate even when the
+        parent's statistics are stale).  Re-sharding an already
+        partitioned table replaces its shard set.  The parent table is
+        untouched — serial plans keep running against it — and the
+        buffer pool is not re-sized (shard-parallel runs contend on the
+        unsharded cache geometry, keeping measurements comparable).
+
+        ``scheme`` is ``"round_robin"`` (default) or ``"range"``; range
+        partitioning splits on ``column`` (defaulting to the parent's
+        first indexed column) at row-count-balanced boundaries.
+        """
+        from repro.storage.sharding import ShardSet, partition_rows, \
+            shard_table_name
+        table = self.table(table_name)
+        if table_name in self._shard_tables:
+            raise StorageError(
+                f"cannot shard {table_name!r}: it is itself a shard"
+            )
+        if scheme == "range" and column is None:
+            indexed = sorted(table.indexes)
+            column = indexed[0] if indexed \
+                else table.schema.column_names[0]
+        buckets, bounds = partition_rows(table, num_shards, scheme,
+                                         column if scheme == "range"
+                                         else None)
+        if table_name in self._shard_sets:
+            self.unshard_table(table_name)
+        shards = []
+        tuple_size = table.schema.tuple_size(self.config.tuple_header)
+        for i, rows in enumerate(buckets):
+            heap = HeapFile(
+                file_id=self._allocate_file_id(),
+                schema=table.schema,
+                tuples_per_page=self.config.tuples_per_page(tuple_size),
+            )
+            shard = Table(shard_table_name(table_name, i),
+                          table.schema, heap)
+            shard.insert_many(rows)
+            for idx_column in sorted(table.indexes):
+                col_pos = table.schema.index_of(idx_column)
+                key_size = table.schema.columns[col_pos].byte_size
+                index = BTreeIndex(
+                    name=f"{shard.name}_{idx_column}_idx",
+                    file_id=self._allocate_file_id(),
+                    key_size=key_size,
+                    page_size=self.config.page_size,
+                )
+                index.bulk_load(
+                    (row[col_pos], tid)
+                    for tid, row in shard.heap.iter_rows()
+                )
+                shard.indexes[idx_column] = index
+            self._shard_tables[shard.name] = shard
+            self.catalog.analyze(shard)
+            shards.append(shard)
+        shard_set = ShardSet(table_name=table_name, scheme=scheme,
+                             column=column if scheme == "range" else None,
+                             shards=tuple(shards), bounds=bounds)
+        self._shard_sets[table_name] = shard_set
+        self._bump_catalog_version()
+        return shard_set
+
+    def unshard_table(self, table_name: str) -> None:
+        """Drop a table's shard set (and its shard tables).
+
+        Raises StorageError when the table is not partitioned,
+        symmetric with :meth:`drop_index`.
+        """
+        shard_set = self._shard_sets.pop(table_name, None)
+        if shard_set is None:
+            raise StorageError(
+                f"table {table_name!r} is not partitioned"
+            )
+        for shard in shard_set.shards:
+            self._shard_tables.pop(shard.name, None)
+        self._bump_catalog_version()
 
     def create_index(self, table_name: str, column: str,
                      name: str | None = None) -> BTreeIndex:

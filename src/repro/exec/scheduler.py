@@ -329,7 +329,20 @@ class CooperativeScheduler:
         self._records: list[QueryRecord] = []
 
     def add_client(self, client: WorkloadClient) -> WorkloadClient:
-        """Admit a client; round-robin order is admission order."""
+        """Admit a client; round-robin order is admission order.
+
+        The weight is validated *here*, not just at construction: a
+        weight mutated to zero or negative after ``__init__`` would
+        make every scheduling visit grant ``weight × quantum = 0``
+        batches — the client never progresses and :meth:`run` spins
+        forever on its undrained queue.
+        """
+        if client.weight < 1:
+            raise ExecutionError(
+                f"client {client.name!r} has non-positive weight "
+                f"{client.weight}; a zero-batch slice would never "
+                "drain its queue"
+            )
         self._clients.append(client)
         return client
 

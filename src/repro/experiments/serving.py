@@ -17,12 +17,16 @@ reproducible):
 1. ``prepare`` the shared parameterized statement;
 2. ``execute`` a selective probe (admitted outright);
 3. ``execute`` a *drifted* replay — the plan cache replays the recipe
-   frozen at the 0.05%-selectivity seed, so under the ``classic`` base
-   options the admission controller re-prices a mis-estimated index
-   plan far over budget and **degrades** it to the SLA-bounded Smooth
-   Scan; every ``REJECT_EVERY``-th client instead pins
-   ``force_path(index)`` with a hint, which forbids degrading and gets
-   **rejected** with the priced estimate.
+   frozen at the 0.05%-selectivity seed, so the admission controller
+   re-prices a mis-estimated index plan far over budget.  The micro
+   table is partitioned ``SERVING_SHARDS``-way up front (sessions plan
+   serially — ``shard_parallel=False`` — so splitting is the front's
+   call, not the client's), which lets the controller re-price the
+   statement as a shard-parallel exchange plan and **split** it within
+   budget instead of degrading; every ``REJECT_EVERY``-th client
+   instead pins ``force_path(index)`` with a hint, which forbids both
+   splitting and degrading and gets **rejected** with the priced
+   estimate.
 
 Two series (``classic`` and ``smooth`` base options), each measured
 serial (clients drained one at a time — the fair-share baseline) and
@@ -30,15 +34,19 @@ contended (round-robin at full concurrency).  Invariants the benchmark
 asserts, all deterministic:
 
 * ledger conservation *through the wire*: per-query ledgers rebuilt
-  from protocol ``summary`` frames sum exactly to the runtime totals;
+  from protocol ``summary`` frames sum exactly to the runtime totals
+  (split executions included — the exchange's per-shard attribution
+  folds back into the query ledger the summary frame carries);
 * rejections happen only for statements priced over their budget;
+* splits happen only for statements priced over budget serially whose
+  shard-parallel re-price fits it;
 * each series' contended p99 stays within the fair-share bound of
   ``(requests + 1) ×`` its serial p99.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.bench.reporting import format_table
 from repro.database import Database
@@ -67,6 +75,11 @@ DEFAULT_SERVING_INFLIGHT = 64
 
 #: SLA budget: the paper's two-full-scans bound.
 DEFAULT_SERVING_SLA = 2.0
+
+#: The micro table is partitioned this many ways before serving starts,
+#: giving the admission controller a shard-parallel re-price to admit
+#: over-budget statements with (the ``split`` verdict).
+SERVING_SHARDS = 4
 
 #: Every Nth client pins force_path(index) on a wide range — priced
 #: over budget and not degradable, so admission must reject it.
@@ -143,6 +156,9 @@ class ServingResult:
     num_clients: int
     max_inflight: int
     sla_multiple: float
+    #: How many ways the serving table was partitioned (1 = unsharded:
+    #: no split verdicts possible, over-budget statements degrade).
+    num_shards: int
     classic: ServingSeries
     smooth: ServingSeries
 
@@ -152,6 +168,14 @@ class ServingResult:
 
     def all_rejections(self) -> list[tuple[str, str, dict]]:
         return self.classic.rejections + self.smooth.rejections
+
+    def all_splits(self) -> list[tuple[float, float, float]]:
+        """Every split's (serial estimate, split estimate, budget)."""
+        splits: list[tuple[float, float, float]] = []
+        for series in (self.classic, self.smooth):
+            for run in (series.serial, series.contended):
+                splits.extend(run.admission.splits)
+        return splits
 
     @property
     def rejections_priced_over_budget(self) -> bool:
@@ -163,10 +187,25 @@ class ServingResult:
             for _client, _label, detail in rejections
         )
 
+    @property
+    def splits_within_budget(self) -> bool:
+        """Every split: serial estimate > budget >= split estimate —
+        splitting only rescues statements that needed rescuing, and
+        only when the shard-parallel re-price actually fits.  An
+        unsharded run must produce no splits at all."""
+        splits = self.all_splits()
+        if self.num_shards < 2:
+            return not splits
+        return bool(splits) and all(
+            serial > budget >= parallel
+            for serial, parallel, budget in splits
+        )
+
     def report(self) -> str:
         headers = ["series", "schedule", "queries", "rows", "p50_s",
-                   "p99_s", "makespan_s", "qps", "admit", "degrade",
-                   "reject", "queued", "qwait_p50_s", "qwait_p99_s"]
+                   "p99_s", "makespan_s", "qps", "admit", "split",
+                   "degrade", "reject", "queued", "qwait_p50_s",
+                   "qwait_p99_s"]
         table = []
         for series in (self.classic, self.smooth):
             for label, run in (("serial", series.serial),
@@ -176,7 +215,8 @@ class ServingResult:
                     series.name, label, len(rep.records), rep.rows,
                     rep.p50_ms / 1000, rep.p99_ms / 1000,
                     rep.makespan_ms / 1000, rep.throughput_qps,
-                    adm.admitted, adm.degraded, adm.rejected, adm.queued,
+                    adm.admitted, adm.split, adm.degraded, adm.rejected,
+                    adm.queued,
                     adm.queue_wait_p50_ms / 1000,
                     adm.queue_wait_p99_ms / 1000,
                 ])
@@ -184,7 +224,8 @@ class ServingResult:
             headers, table,
             title=(f"Serving workload — {self.num_clients} protocol "
                    f"clients, {self.max_inflight} in-flight slots, SLA = "
-                   f"{self.sla_multiple:g} full scans\n"
+                   f"{self.sla_multiple:g} full scans, micro partitioned "
+                   f"{self.num_shards}-way\n"
                    f"(statement: {SERVING_SQL}; plan cached at "
                    f"{SEED_PCT}% selectivity; every {REJECT_EVERY}th "
                    "client pins force_path(index); in-process transport, "
@@ -202,6 +243,12 @@ class ServingResult:
             f"admission rejections: {len(self.all_rejections())}, "
             "all priced over the SLA budget: "
             + ("ok" if self.rejections_priced_over_budget else "VIOLATED")
+        )
+        lines.append(
+            f"admission splits: {len(self.all_splits())}, all serial "
+            "estimates over budget and all shard-parallel re-prices "
+            "within it: "
+            + ("ok" if self.splits_within_budget else "VIOLATED")
         )
         lines.append(
             "ledger conservation through the wire: "
@@ -273,20 +320,30 @@ def run_serving_workload(
     num_clients: int = DEFAULT_SERVING_CLIENTS,
     max_inflight: int = DEFAULT_SERVING_INFLIGHT,
     sla_multiple: float = DEFAULT_SERVING_SLA,
+    num_shards: int = SERVING_SHARDS,
     setup: MicroSetup | None = None,
 ) -> ServingResult:
     """Serve the scripted client fleet, classic vs smooth base options."""
     setup = setup or make_micro_db(num_tuples)
     db = setup.db
+    # Partition the serving table up front: the shard set is what gives
+    # admission its shard-parallel re-price (the split verdict).
+    # Sessions themselves plan serially (shard_parallel=False) — going
+    # wide is the front's budget-driven call, not the client's.
+    if num_shards >= 2:
+        db.shard_table("micro", num_shards)
     db.analyze()  # fresh statistics at plan-caching time
-    classic = _run_series(db, "classic", CLASSIC_OPTIONS, num_clients,
-                          max_inflight, sla_multiple)
-    smooth = _run_series(db, "smooth", SMOOTH_OPTIONS, num_clients,
-                         max_inflight, sla_multiple)
+    classic = _run_series(db, "classic",
+                          replace(CLASSIC_OPTIONS, shard_parallel=False),
+                          num_clients, max_inflight, sla_multiple)
+    smooth = _run_series(db, "smooth",
+                         replace(SMOOTH_OPTIONS, shard_parallel=False),
+                         num_clients, max_inflight, sla_multiple)
     return ServingResult(
         num_clients=num_clients,
         max_inflight=max_inflight,
         sla_multiple=sla_multiple,
+        num_shards=num_shards,
         classic=classic,
         smooth=smooth,
     )

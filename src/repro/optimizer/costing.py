@@ -99,6 +99,40 @@ def cheapest_path(paths: list[AccessPathCost]) -> AccessPathCost:
     return min(paths, key=lambda c: c.cost)
 
 
+def smooth_scan_estimate(table: Table, config: EngineConfig,
+                         profile: DiskProfile, column: str,
+                         selectivity: float) -> float:
+    """Smooth Scan's analytic worst-case cost at ``selectivity``.
+
+    The planner's smooth decisions deliberately carry ``NaN`` cost
+    (smooth needs no estimate to be safe); admission pricing and
+    exchange modeling substitute this bound where a number is needed.
+    """
+    p = params_for(table, config, profile, column, selectivity)
+    return formulas.smooth_scan_cost(p)
+
+
+def exchange_merge_cost(total_rows: int, profile: DiskProfile,
+                        exchange_ms: float) -> float:
+    """Coordinator merge CPU in I/O units: one charge per merged row.
+
+    This is the *serial* fraction of a shard-parallel plan — it does
+    not shrink with the shard count, which is why measured speedup
+    stays below N (Amdahl's law, quantified by the shard-scaling
+    experiment).
+    """
+    return total_rows * exchange_ms / profile.ms_per_unit
+
+
+def exchange_cost(shard_costs: list[float], merge_cost: float) -> float:
+    """Completion-time estimate of an exchange over overlapped shards.
+
+    Shards progress concurrently, so the parallel fraction completes
+    with the most expensive shard; the merge is serial on top.
+    """
+    return max(shard_costs) + merge_cost
+
+
 def inlj_cost(outer_card: int, inner: CostParams,
               matches_per_key: float = 1.0) -> float:
     """Index-nested-loop cost: a descent + match fetches per outer row."""

@@ -50,6 +50,7 @@ def options_fingerprint(options: PlannerOptions | None) -> tuple:
         options.enable_smooth,
         options.enable_inlj,
         options.force_path,
+        options.shard_parallel,
         None if options.smooth_policy is None
         else repr(options.smooth_policy),
         None if options.smooth_trigger is None

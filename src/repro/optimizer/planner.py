@@ -77,6 +77,13 @@ class PlannerOptions:
     #: Factory hooks so experiments can plan with specific variants.
     smooth_policy: MorphPolicy | None = None
     smooth_trigger: Trigger | None = None
+    #: Produce shard-parallel (Exchange) plans for scan-only queries on
+    #: tables with a registered shard set.  Off, a partitioned table
+    #: still plans serially against the parent — how the serving front
+    #: keeps sessions serial and applies the split itself at admission.
+    #: A ``force_path`` always plans serially (forced sweeps pin exact
+    #: single-path plans).
+    shard_parallel: bool = True
 
     def __post_init__(self) -> None:
         if self.force_path is not None \
@@ -97,6 +104,11 @@ class PlanDecision:
     estimated_cardinality: int
     estimated_cost: float
     alternatives: dict[str, float] = field(default_factory=dict)
+    #: For per-shard decisions under an Exchange: the shard table this
+    #: decision covers (``None`` for ordinary, unsharded decisions).
+    #: Admission pricing sums only unsharded decisions — the exchange
+    #: decision prices its whole subtree.
+    shard: str | None = None
 
 
 # -- plan recipes (cached-plan replay) ---------------------------------------
@@ -287,14 +299,27 @@ class Planner:
                 and len(spec.order_by) == 1 and spec.order_by[0].ascending):
             scan_order = spec.order_by[0].column
 
-        op, decision, ordered = self._plan_access(
-            spec.table, pushed[spec.table], scan_order,
-            force=self.options.force_path,
-            pin=recipe.base if recipe is not None else None,
-        )
-        node = self._node(op, est_rows=decision.estimated_cardinality,
-                          est_cost=decision.estimated_cost,
-                          decision=decision)
+        sharded = None
+        if recipe is None or recipe.base.path == "exchange":
+            # A fresh plan shards when the catalog is partitioned (and
+            # options allow); an "exchange" pin replays by re-sharding
+            # fresh — per-shard paths are re-chosen against the shards'
+            # own (fresh) statistics, which is the cacheable part.
+            sharded = self._plan_sharded_access(
+                spec, pushed[spec.table], scan_order
+            )
+        if sharded is not None:
+            node, decision = sharded
+            ordered = False
+        else:
+            op, decision, ordered = self._plan_access(
+                spec.table, pushed[spec.table], scan_order,
+                force=self.options.force_path,
+                pin=recipe.base if recipe is not None else None,
+            )
+            node = self._node(op, est_rows=decision.estimated_cardinality,
+                              est_cost=decision.estimated_cost,
+                              decision=decision)
         est_rows = decision.estimated_cardinality
         join_pins: list[JoinPin] = []
 
@@ -467,6 +492,111 @@ class Planner:
         )
         ordered = choice.path == "index" and order_by == column
         return op, decision, ordered
+
+    def _plan_sharded_access(self, spec: QuerySpec,
+                             predicate: Predicate | None,
+                             scan_order: str | None
+                             ) -> tuple[PlanNode, PlanDecision] | None:
+        """Lower the base scan as an Exchange over per-shard paths.
+
+        Applies only to scan-dominated queries (no joins, aggregation,
+        maps or ORDER BY — everything above the exchange must be
+        charge-free so per-shard ledgers still sum to the runtime
+        totals, and a posterior Sort charges) on tables
+        with a registered shard set, when ``options.shard_parallel``
+        allows and no path is forced.  Each shard's access path is
+        chosen independently against that shard's own statistics and
+        recorded as a shard-tagged :class:`PlanDecision`; the exchange
+        decision on top prices the whole subtree (max shard cost +
+        serial merge) with the serial union as its reported
+        alternative.  Returns ``None`` when sharding does not apply —
+        the caller falls through to ordinary serial planning.
+        """
+        del scan_order  # exchange output is unordered
+        opts = self.options
+        if (not opts.shard_parallel or opts.force_path is not None
+                or spec.joins or spec.has_aggregation or spec.maps
+                or spec.order_by):
+            return None
+        shard_set = self.db.shard_set(spec.table)
+        if shard_set is None or shard_set.num_shards < 2:
+            return None
+        from repro.exec.exchange import Exchange, ShardedScan
+        shard_nodes: list[PlanNode] = []
+        shard_costs: list[float] = []
+        total_card = 0
+        for i, shard in enumerate(shard_set.shards):
+            op, shard_decision, _ordered = self._plan_access(
+                shard.name, predicate, None
+            )
+            shard_decision.shard = shard.name
+            inner = self._node(
+                op, est_rows=shard_decision.estimated_cardinality,
+                est_cost=shard_decision.estimated_cost,
+                decision=shard_decision,
+            )
+            wrapped = ShardedScan(inner.operator, shard.name, i)
+            shard_nodes.append(self._node(
+                wrapped, est_rows=shard_decision.estimated_cardinality,
+                children=(inner,),
+            ))
+            total_card += shard_decision.estimated_cardinality
+            shard_costs.append(
+                self._modeled_shard_cost(shard, shard_decision)
+            )
+        exchange = Exchange(
+            [node.operator for node in shard_nodes],
+            table_name=spec.table, scheme=shard_set.scheme,
+        )
+        merge = costing.exchange_merge_cost(
+            total_card, self.db.profile, self.db.config.cpu.exchange_row
+        )
+        parallel_cost = costing.exchange_cost(shard_costs, merge)
+        serial_cost = sum(shard_costs) + merge
+        # Going wide must *win on the model*: a point lookup's index
+        # descent does not parallelize (every shard repeats it), so the
+        # serial plan over the unsharded table stays in place unless
+        # the exchange's completion-time estimate strictly beats it.
+        _op, serial_decision, _ordered = self._plan_access(
+            spec.table, predicate, None
+        )
+        serial_access_cost = self._modeled_shard_cost(
+            self.db.table(spec.table), serial_decision
+        )
+        if parallel_cost >= serial_access_cost:
+            return None
+        decision = PlanDecision(
+            path="exchange",
+            column=shard_set.column,
+            estimated_selectivity=card_est.estimate_selectivity(
+                self.catalog, spec.table, predicate or TruePredicate()
+            ),
+            estimated_cardinality=total_card,
+            estimated_cost=parallel_cost,
+            alternatives={"exchange": parallel_cost,
+                          "serial": serial_access_cost,
+                          "serial-union": serial_cost},
+        )
+        node = self._node(exchange, est_rows=total_card,
+                          est_cost=parallel_cost, decision=decision,
+                          children=tuple(shard_nodes))
+        return node, decision
+
+    def _modeled_shard_cost(self, shard: Table,
+                            decision: PlanDecision) -> float:
+        """A shard decision's cost with smooth's NaN made numeric.
+
+        Smooth decisions carry ``NaN`` (smooth needs no estimate to be
+        safe), but the exchange's completion-time model needs numbers;
+        substitute the analytic smooth worst-case bound.
+        """
+        if not math.isnan(decision.estimated_cost):
+            return decision.estimated_cost
+        return costing.smooth_scan_estimate(
+            shard, self.db.config, self.db.profile,
+            decision.column or shard.schema.column_names[0],
+            decision.estimated_selectivity,
+        )
 
     def _pin_applies(self, table: Table, pin: AccessPin) -> bool:
         """A pin is usable when its anchor index still exists."""

@@ -192,6 +192,11 @@ class EngineRuntime:
         self._window_disk = DiskStats()
         self._window_hits = 0
         self._window_misses = 0
+        self._shard_active: CostLedger | None = None
+        self._shard_clock = (0.0, 0.0)
+        self._shard_disk = DiskStats()
+        self._shard_hits = 0
+        self._shard_misses = 0
         # Weak refs: a stream nobody can reach anymore (its cursor was
         # dropped undrained) cannot observe a cache reset, so it stops
         # guarding cold starts the moment it becomes unreachable.
@@ -248,6 +253,44 @@ class EngineRuntime:
         ledger.buffer_hits += self.buffer.stats.hits - self._window_hits
         ledger.buffer_misses += (self.buffer.stats.misses
                                  - self._window_misses)
+
+    def begin_shard_attribution(self, ledger: CostLedger) -> None:
+        """Open a *nested* per-shard window inside the query's window.
+
+        Shard-parallel execution decomposes one query's charges by
+        shard: the Exchange operator wraps each shard slice in one of
+        these windows so per-shard ledgers tile the parent ledger.
+        Unlike :meth:`begin_attribution` this is purely diff-based — it
+        snapshots the clock and the integer counters here and folds the
+        deltas in at :meth:`end_shard_attribution`, never touching
+        ``clock.ledger`` or the outer window — so the parent ledger
+        keeps receiving every charge while the shard ledger records its
+        share.  Shard windows must not nest in each other.
+        """
+        if self._shard_active is not None:
+            raise ExecutionError(
+                "a shard attribution window is already open; shard "
+                "slices interleave at batch boundaries, they do not nest"
+            )
+        self._shard_active = ledger
+        self._shard_clock = self.clock.snapshot()
+        self._shard_disk = self.disk.stats.snapshot()
+        self._shard_hits = self.buffer.stats.hits
+        self._shard_misses = self.buffer.stats.misses
+
+    def end_shard_attribution(self) -> None:
+        """Close the open shard window, folding deltas into its ledger."""
+        ledger = self._shard_active
+        if ledger is None:
+            raise ExecutionError("no shard attribution window is open")
+        self._shard_active = None
+        io_before, cpu_before = self._shard_clock
+        ledger.io_ms += self.clock.io_ms - io_before
+        ledger.cpu_ms += self.clock.cpu_ms - cpu_before
+        ledger.disk.add(self.disk.stats.diff(self._shard_disk))
+        ledger.buffer_hits += self.buffer.stats.hits - self._shard_hits
+        ledger.buffer_misses += (self.buffer.stats.misses
+                                 - self._shard_misses)
 
     def totals(self) -> CostLedger:
         """The shared aggregate counters, as a ledger-shaped snapshot.

@@ -10,9 +10,15 @@ with the planner's own estimate — the cost of the plan that *would
 run*, pinned recipe and all — and checked against the base table's SLA
 budget.
 
-Three outcomes:
+Four outcomes:
 
 * **admit** — the estimate fits the budget; run the plan as planned.
+* **split** — the serial estimate breaks the budget but the statement's
+  base table is partitioned (:meth:`repro.database.Database.
+  shard_table`) and the shard-parallel plan — one scan per shard under
+  an :class:`~repro.exec.exchange.Exchange` — re-prices within it; the
+  statement is admitted on the front's shared shard-parallel
+  connection instead of being degraded or rejected.
 * **degrade** — the plan the optimizer (or the plan cache, replaying a
   recipe frozen at stale parameter values) wants to run is priced over
   budget, but a Smooth Scan over the same table is worst-case bounded
@@ -60,6 +66,7 @@ DEFAULT_MAX_INFLIGHT = 64
 ADMIT = "admit"
 DEGRADE = "degrade"
 REJECT = "reject"
+SPLIT = "split"
 
 
 @dataclass(frozen=True)
@@ -74,15 +81,18 @@ class AdmissionDecision:
     units.
     """
 
-    action: str                 # ADMIT | DEGRADE | REJECT
+    action: str                 # ADMIT | DEGRADE | REJECT | SPLIT
     table: str
     estimated_cost: float
     budget: float
     reason: str
+    #: For SPLIT decisions: the shard-parallel plan's estimate — the
+    #: price that fit the budget after the serial estimate did not.
+    split_estimate: float | None = None
 
     @property
     def admitted(self) -> bool:
-        """True for both plain admits and degrade-to-smooth admits."""
+        """True for admits, degrade-to-smooth and split-to-shards."""
         return self.action != REJECT
 
     def to_dict(self) -> dict:
@@ -93,6 +103,7 @@ class AdmissionDecision:
             "estimated_cost": self.estimated_cost,
             "budget": self.budget,
             "reason": self.reason,
+            "split_estimate": self.split_estimate,
         }
 
 
@@ -102,6 +113,9 @@ class AdmissionStats:
 
     admitted: int = 0
     degraded: int = 0
+    #: Statements admitted as shard-parallel plans after their serial
+    #: estimate broke the budget (the ``split`` verdict).
+    split: int = 0
     rejected: int = 0
     #: Requests that had to wait for an in-flight slot.
     queued: int = 0
@@ -111,11 +125,14 @@ class AdmissionStats:
     #: Every rejection's (estimated_cost, budget) — the invariant the
     #: serving benchmark asserts: estimate > budget for all of these.
     rejections: list[tuple[float, float]] = field(default_factory=list)
+    #: Every split's (serial estimate, split estimate, budget) — the
+    #: mirror invariant: serial estimate > budget >= split estimate.
+    splits: list[tuple[float, float, float]] = field(default_factory=list)
 
     @property
     def decided(self) -> int:
-        """Total statements priced (admitted + degraded + rejected)."""
-        return self.admitted + self.degraded + self.rejected
+        """Total statements priced (every verdict counted)."""
+        return self.admitted + self.degraded + self.split + self.rejected
 
     @property
     def queue_wait_p50_ms(self) -> float:
@@ -129,6 +146,11 @@ class AdmissionStats:
                       wait_ms: float, was_queued: bool) -> None:
         if decision.action == DEGRADE:
             self.degraded += 1
+        elif decision.action == SPLIT:
+            self.split += 1
+            self.splits.append((decision.estimated_cost,
+                                decision.split_estimate or 0.0,
+                                decision.budget))
         else:
             self.admitted += 1
         if was_queued:
@@ -144,6 +166,7 @@ class AdmissionStats:
         return {
             "admitted": self.admitted,
             "degraded": self.degraded,
+            "split": self.split,
             "rejected": self.rejected,
             "queued": self.queued,
             "queue_wait_p50_ms": self.queue_wait_p50_ms,
@@ -177,6 +200,10 @@ class AdmissionController:
         self.stats = AdmissionStats()
         self._budgets: dict[str, float] = {}
         self._degrade_options: dict[str, PlannerOptions | None] = {}
+        #: Shared shard-parallel connections for split re-pricing and
+        #: execution, keyed by options fingerprint so every session
+        #: with the same base options shares one plan-cache entry.
+        self._split_conns: dict[tuple, "Connection"] = {}
 
     # -- pricing ------------------------------------------------------------
 
@@ -248,6 +275,45 @@ class AdmissionController:
             self._degrade_options[table_name] = options
         return self._degrade_options[table_name]
 
+    def split_options_for(self, table_name: str,
+                          base: PlannerOptions | None
+                          ) -> PlannerOptions | None:
+        """Options for a shard-parallel re-price, or None when the
+        table has no shard set to split over.
+
+        The split plan keeps the session's base options (a smooth
+        session splits into per-shard Smooth Scans) with
+        ``shard_parallel`` switched on and any force cleared — the
+        controller only splits statements whose own hints did not pin a
+        path (a hinted statement is rejected before splitting).
+        """
+        shard_set = self.db.shard_set(table_name)
+        if shard_set is None or shard_set.num_shards < 2:
+            return None
+        return replace(base or PlannerOptions(),
+                       shard_parallel=True, force_path=None)
+
+    def split_connection(self, table_name: str,
+                         base: PlannerOptions | None
+                         ) -> "Connection | None":
+        """The shared shard-parallel connection for one table's splits.
+
+        One warm connection per options fingerprint: split re-pricing
+        in :meth:`decide` and split *execution* in the serving front go
+        through the same connection, so the priced plan is exactly the
+        cached plan the statement then runs.
+        """
+        options = self.split_options_for(table_name, base)
+        if options is None:
+            return None
+        from repro.optimizer.plan_cache import options_fingerprint
+        key = options_fingerprint(options)
+        conn = self._split_conns.get(key)
+        if conn is None:
+            conn = self.db.connect(options=options, cold=False)
+            self._split_conns[key] = conn
+        return conn
+
     def _smooth_estimate(self, table_name: str, decision) -> float:
         """Price one smooth-path plan decision.
 
@@ -286,6 +352,12 @@ class AdmissionController:
         planned, _outcome = connection._plan(bound, opts, params)
         cost = 0.0
         for decision in planned.decisions():
+            if decision.shard is not None:
+                # Per-shard decisions under an Exchange: the exchange
+                # decision on top prices the whole subtree (max shard
+                # cost + merge), so summing the shards here would both
+                # double-count and miss the overlap.
+                continue
             estimate = decision.estimated_cost
             if math.isnan(estimate):
                 estimate = self._smooth_estimate(bound.spec.table, decision)
@@ -314,6 +386,19 @@ class AdmissionController:
                         f"force_path({merged.force_path}) hint forbids "
                         "degrading to a Smooth Scan"),
             )
+        split_conn = self.split_connection(table, connection.options)
+        if split_conn is not None:
+            _split_planned, split_estimate = self.price(
+                split_conn, statement, params
+            )
+            if split_estimate <= budget:
+                shards = self.db.shard_set(table).num_shards
+                return AdmissionDecision(
+                    action=SPLIT, table=table, estimated_cost=estimate,
+                    budget=budget, split_estimate=split_estimate,
+                    reason=("estimate exceeds SLA budget; re-priced at "
+                            f"{shards} shards within budget"),
+                )
         if self.degrade_options_for(table, connection.options) is not None:
             return AdmissionDecision(
                 action=DEGRADE, table=table, estimated_cost=estimate,

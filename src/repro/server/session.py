@@ -42,6 +42,7 @@ from repro.optimizer.planner import PlannerOptions
 from repro.server import protocol
 from repro.server.admission import (
     ADMIT,
+    SPLIT,
     AdmissionController,
     AdmissionDecision,
 )
@@ -132,6 +133,22 @@ class ServerFront:
             self._degraded[table] = self.db.connect(options=options,
                                                     cold=False)
         return self._degraded[table]
+
+    def split_connection(self, table: str) -> Connection:
+        """The shared shard-parallel connection for split admissions.
+
+        Owned by the admission controller (pricing and execution must
+        go through the same plan cache entry); raised here into a
+        protocol error when the table lost its shard set between
+        decide() and start.
+        """
+        conn = self.admission.split_connection(table, self.options)
+        if conn is None:
+            raise ProtocolError(
+                protocol.ERR_INTERNAL,
+                f"table {table!r} is not partitioned for split execution"
+            )
+        return conn
 
     # -- the admission queue --------------------------------------------------
 
@@ -394,8 +411,12 @@ class ServerSession:
         """Start one admitted statement (slot already held)."""
         tracer = self.front.db.tracer
         try:
-            conn = (self.conn if decision.action == ADMIT
-                    else self.front.degraded_connection(decision.table))
+            if decision.action == ADMIT:
+                conn = self.conn
+            elif decision.action == SPLIT:
+                conn = self.front.split_connection(decision.table)
+            else:
+                conn = self.front.degraded_connection(decision.table)
             tracer.note_client(f"session-{self.id}")
             cursor = conn.cursor().execute(statement, params)
         except BaseException:

@@ -18,6 +18,9 @@ measured simulated time and I/O.  Meta commands start with a backslash:
                        statement's per-query cost ledger
     \\clients <n>       replay the last statement from N interleaved
                        cursors (deterministic cooperative scheduling)
+    \\shards <n>        replay the last statement with its base table
+                       partitioned N ways (per-shard ledger breakdown;
+                       the partitioning is dropped again afterwards)
     \\metrics           telemetry metrics in deterministic text form
                        (tracing is on for the whole shell session)
     \\help              this text
@@ -50,6 +53,9 @@ _HELP = """
                        statement's per-query cost ledger
     \\clients <n>       replay the last statement from N interleaved
                        cursors (deterministic cooperative scheduling)
+    \\shards <n>        replay the last statement with its base table
+                       partitioned N ways (per-shard ledger breakdown;
+                       the partitioning is dropped again afterwards)
     \\metrics           telemetry metrics in deterministic text form
                        (tracing is on for the whole shell session)
     \\help              this text
@@ -185,6 +191,8 @@ class Repl:
                 )
         elif name == "clients" and len(parts) == 2:
             self._clients(parts[1])
+        elif name == "shards" and len(parts) == 2:
+            self._shards(parts[1])
         elif name == "metrics":
             # One source of truth: the plan cache's structured stats
             # become gauges, same as the server's stats frame.
@@ -239,6 +247,75 @@ class Repl:
             "ledgers sum to runtime totals: "
             f"{'ok' if conserved else 'VIOLATED'})"
         )
+
+    def _shards(self, arg: str) -> None:
+        """The ``\\shards N`` meta: shard-parallel replay.
+
+        Partitions the last statement's base table N ways, re-runs the
+        statement with shard-parallel planning enabled, prints each
+        shard's conserved ledger slice, then drops the partitioning —
+        the base table itself is never modified, so the shell's
+        catalog is exactly as before.
+        """
+        from dataclasses import replace
+
+        from repro.exec.exchange import Exchange
+        from repro.runtime import CostLedger
+        try:
+            n = int(arg)
+        except ValueError:
+            self._print("error: \\shards takes a shard count")
+            return
+        if not 2 <= n <= 32:
+            self._print("error: shard count must be between 2 and 32")
+            return
+        if self._last_sql is None or self._last_result is None:
+            self._print("error: no statement to replay yet "
+                        "(run a SELECT first)")
+            return
+        table = self._last_result.plan.spec.table
+        options = replace(self._options(), shard_parallel=True,
+                          force_path=None)
+        try:
+            self.db.shard_table(table, n)
+            conn = self.db.connect(options=options, cold=False)
+            result = conn.run(self._last_sql, cold=True, keep_rows=False)
+            exchange = next(
+                (op for op in result.plan.operators()
+                 if isinstance(op, Exchange)), None)
+            if exchange is None:
+                self._print(
+                    f"(planner kept the serial plan — going wide loses "
+                    f"on the model for this statement; "
+                    f"{result.row_count} rows, "
+                    f"{result.total_seconds:.3f} s simulated)"
+                )
+                return
+            total = CostLedger()
+            for i, ledger in enumerate(exchange.shard_ledgers):
+                total.add(ledger)
+                self._print(
+                    f"{table}#{i:<3}  io {ledger.io_ms / 1000:.3f}s  "
+                    f"cpu {ledger.cpu_ms / 1000:.3f}s  "
+                    f"{ledger.disk.pages_read} pages  "
+                    f"{ledger.buffer_hits}h/{ledger.buffer_misses}m"
+                )
+            run = result.run
+            own = CostLedger(io_ms=run.io_ms, cpu_ms=run.cpu_ms,
+                             disk=run.disk.snapshot(),
+                             buffer_hits=run.buffer_hits,
+                             buffer_misses=run.buffer_misses)
+            self._print(
+                f"({n} shards, {result.row_count} rows, "
+                f"{result.total_seconds:.3f} s simulated completion; "
+                "shard ledgers sum to the query ledger: "
+                f"{'ok' if total.matches(own) else 'VIOLATED'})"
+            )
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        finally:
+            if self.db.shard_set(table) is not None:
+                self.db.unshard_table(table)
 
     def _execute(self, text: str) -> None:
         if not text.strip().rstrip(";").strip():

@@ -75,6 +75,13 @@ class SimClock:
 
     io_ms: float = 0.0
     cpu_ms: float = 0.0
+    #: Elapsed-time multiplier for overlapped work.  The Exchange
+    #: operator sets this to ``1 / live_shards`` around shard pulls: N
+    #: shard workers progress concurrently, so each unit of per-shard
+    #: work advances *completion time* by 1/N.  At the default 1.0 the
+    #: multiplication is an exact float no-op, so serial execution is
+    #: bit-identical with or without this field.
+    scale: float = 1.0
     #: The per-query ledger charges are currently attributed to, set by
     #: ``EngineRuntime.begin_attribution`` / ``end_attribution``.
     ledger: "CostLedger | None" = field(
@@ -88,6 +95,7 @@ class SimClock:
 
     def charge_io(self, ms: float) -> None:
         """Add blocking I/O wait time."""
+        ms *= self.scale
         self.io_ms += ms
         ledger = self.ledger
         if ledger is not None:
@@ -95,6 +103,7 @@ class SimClock:
 
     def charge_cpu(self, ms: float) -> None:
         """Add CPU processing time."""
+        ms *= self.scale
         self.cpu_ms += ms
         ledger = self.ledger
         if ledger is not None:
@@ -293,6 +302,22 @@ class SimulatedDisk:
         self.stats.pages_read += n_pages
         self.stats.bytes_read += n_pages * self.page_size
         self._head = None
+
+    def head_state(self) -> tuple[int, int] | None:
+        """The current head position, opaque, for :meth:`set_head_state`.
+
+        The Exchange operator models one spindle per shard: it saves the
+        head after each shard slice and restores it before the next pull
+        of the *same* shard, so interleaved shards do not pay each
+        other's seek penalty.  Shard files have disjoint ``file_id``
+        spaces, so swapping the global head is sufficient —
+        ``_file_heads`` (per-stream prefetch state) never conflicts.
+        """
+        return self._head
+
+    def set_head_state(self, state: tuple[int, int] | None) -> None:
+        """Restore a head position captured by :meth:`head_state`."""
+        self._head = state
 
     def reset_head(self) -> None:
         """Forget head position (e.g. after unrelated activity)."""

@@ -31,8 +31,15 @@ Event kinds emitted by the engine:
 ``sched.start`` / ``sched.finish``
                         a scheduled workload query began/drained (joins
                         client and label onto the query span)
-``admission.admit`` / ``.degrade`` / ``.reject`` / ``.dequeue``
-                        the serving front's priced verdicts
+``admission.admit`` / ``.split`` / ``.degrade`` / ``.reject`` /
+``.dequeue``            the serving front's priced verdicts (``split``
+                        carries the shard-parallel re-price that fit
+                        the budget)
+``shard.start`` / ``shard.finish``
+                        one shard of an :class:`~repro.exec.exchange.
+                        Exchange` began / drained — ``finish`` carries
+                        the shard's conserved ledger slice (io/cpu ms,
+                        pages read, rows produced)
 ======================  =================================================
 
 Every event also feeds the tracer's

@@ -318,6 +318,23 @@ def test_scheduler_rejects_explain_and_bad_args(prepared):
         CooperativeScheduler(db, quantum=0)
 
 
+def test_add_client_rejects_non_positive_weight(prepared):
+    """Registration re-validates the weight: a client whose weight was
+    mutated to zero after construction would be granted zero-batch
+    slices forever — run() would spin without draining its queue."""
+    db, _statement = prepared
+    scheduler = CooperativeScheduler(db)
+    sneaky = WorkloadClient("sneaky", weight=2)
+    sneaky.weight = 0
+    with pytest.raises(ExecutionError, match="'sneaky'"):
+        scheduler.add_client(sneaky)
+    assert scheduler.run().records == []  # nothing was admitted
+    negative = WorkloadClient("negative")
+    negative.weight = -3
+    with pytest.raises(ExecutionError, match="-3"):
+        scheduler.add_client(negative)
+
+
 def test_scheduler_latencies_show_contention(prepared):
     db, statement = prepared
     streams = [[80_000], [80_000], [80_000], [80_000]]
